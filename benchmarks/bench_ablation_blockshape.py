@@ -1,0 +1,92 @@
+"""Ablation: process-grid shape for the mesh archetype (paper §4.4.3).
+
+"We can later adjust the dimensions of this process grid to optimize
+performance" — this benchmark runs the Jacobi sweep with 1-D strip and
+2-D block decompositions of the same 16 processors.  Blocks halve the
+boundary *bytes* (better surface-to-volume) at the price of twice the
+*messages*; strips win on high-latency networks, blocks on low-latency
+ones.  Compared on communication time (stencil codes of the era are
+compute-dominated overall, so total time hides the effect).
+"""
+
+from repro import spmd_run
+from repro.core.meshspectral import MeshContext
+from repro.machines.catalog import CRAY_T3D, ETHERNET_SUNS
+from repro.trace.analysis import summarize
+
+
+def _comm_profile(machine, proc_grid, p=16, n=128, iters=10):
+    def body(comm):
+        return _poisson_fixed_dist(MeshContext(comm), n, n, proc_grid, iters)
+
+    run = spmd_run(p, body, machine=machine, trace=True)
+    s = summarize(run.tracer)
+    return {
+        "comm_time": s.max_comm_time,
+        "messages": s.total_messages,
+        "bytes": s.total_bytes,
+        "elapsed": run.elapsed,
+    }
+
+
+def _poisson_fixed_dist(mesh, nx, ny, proc_grid, iters):
+    import numpy as np
+    from repro.comm.reductions import MAX
+
+    h2 = (1.0 / (nx - 1)) ** 2
+    uk = mesh.grid((nx, ny), dist=proc_grid, ghost=1)
+    ukp = mesh.grid((nx, ny), dist=proc_grid, ghost=1)
+    ii, jj = uk.coord_arrays()
+    on_edge = (ii == 0) | (ii == nx - 1) | (jj == 0) | (jj == ny - 1)
+    uk.interior[...] = np.where(on_edge, 1.0, 0.0)
+    ukp.interior[...] = uk.interior
+
+    def jacobi(out, u):
+        out[...] = 0.25 * (u[-1, 0] + u[1, 0] + u[0, -1] + u[0, 1])
+
+    for _ in range(iters):
+        mesh.stencil_op(jacobi, ukp, uk, margin=1, flops_per_point=8.0)
+        region = uk.interior_intersection(1)
+        a, b = ukp.interior[region], uk.interior[region]
+        local = float(np.max(np.abs(a - b))) if a.size else float("-inf")
+        mesh.charge(2.0 * a.size)
+        mesh.reduce(local, MAX)
+        uk.interior[region] = ukp.interior[region]
+    del h2
+    return True
+
+
+def test_block_shape(benchmark):
+    def experiment():
+        out = {}
+        for machine in (CRAY_T3D, ETHERNET_SUNS):
+            out[machine.name] = {
+                "strips (16,1)": _comm_profile(machine, (16, 1)),
+                "blocks (4,4)": _comm_profile(machine, (4, 4)),
+            }
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nAblation — Poisson 128^2, 16 ranks, strips vs 2-D blocks")
+    for name, shapes in results.items():
+        print(f"  {name}:")
+        for shape, prof in shapes.items():
+            print(
+                f"    {shape:>14}: comm {prof['comm_time'] * 1e3:8.3f} ms, "
+                f"{prof['messages']:>5} msgs, {prof['bytes']:>8} bytes"
+            )
+
+    for shapes in results.values():
+        strips, blocks = shapes["strips (16,1)"], shapes["blocks (4,4)"]
+        # The structural trade: blocks halve the bytes, strips halve the
+        # messages (boundary exchange only; reductions identical).
+        assert blocks["bytes"] < strips["bytes"]
+        assert blocks["messages"] > strips["messages"]
+
+    # Low-latency T3D favours square blocks; the high-latency Ethernet
+    # network favours strips.
+    t3d, eth = results["cray-t3d"], results["ethernet-suns"]
+    assert t3d["blocks (4,4)"]["comm_time"] < t3d["strips (16,1)"]["comm_time"]
+    assert (
+        eth["strips (16,1)"]["comm_time"] < eth["blocks (4,4)"]["comm_time"]
+    )

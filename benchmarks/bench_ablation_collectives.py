@@ -1,0 +1,70 @@
+"""Ablation: collective algorithms.
+
+DESIGN.md calls out the choice of building collectives from classical
+p2p algorithms.  This benchmark compares the recursive-doubling
+allreduce (the paper's Figure 8 pattern) against the naive
+gather-to-root + compute + broadcast alternative, on the modelled
+Ethernet workstation network where latency dominates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import spmd_run
+from repro.comm.reductions import SUM
+from repro.machines.catalog import ETHERNET_SUNS
+
+
+def _recursive_doubling(p: int) -> float:
+    def body(comm):
+        for _ in range(5):
+            comm.allreduce(float(comm.rank), SUM)
+
+    return spmd_run(p, body, machine=ETHERNET_SUNS).elapsed
+
+
+def _gather_then_bcast(p: int) -> float:
+    def body(comm):
+        for _ in range(5):
+            values = comm.gather(float(comm.rank), root=0)
+            total = sum(values) if comm.rank == 0 else None
+            comm.bcast(total, root=0)
+
+    return spmd_run(p, body, machine=ETHERNET_SUNS).elapsed
+
+
+def test_allreduce_algorithms(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            p: (_recursive_doubling(p), _gather_then_bcast(p)) for p in (4, 16, 32)
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation — allreduce algorithm (5 reductions, Ethernet Suns)")
+    print(f"{'P':>4} {'recursive-doubling':>20} {'gather+bcast':>14} {'ratio':>7}")
+    for p, (rd, gb) in results.items():
+        print(f"{p:>4} {rd:>20.4f} {gb:>14.4f} {gb / rd:>7.2f}")
+    # The critical path of gather+bcast is O(P) messages at the root;
+    # recursive doubling is O(log P): the gap widens with P.
+    assert results[32][1] / results[32][0] > results[4][1] / results[4][0]
+    assert results[32][1] > results[32][0]
+
+
+def test_correctness_identical(benchmark):
+    """Both strategies compute the same reduction (sanity for the ablation)."""
+
+    def both(p=8):
+        def rd(comm):
+            return comm.allreduce(comm.rank + 1.0, SUM)
+
+        def gb(comm):
+            vals = comm.gather(comm.rank + 1.0, root=0)
+            return comm.bcast(sum(vals) if comm.rank == 0 else None, root=0)
+
+        a = spmd_run(p, rd).values
+        b = spmd_run(p, gb).values
+        return a, b
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert np.allclose(a, b)

@@ -1,0 +1,47 @@
+"""Ablation: why *one* level of splitting (paper §2.1).
+
+The paper motivates one-deep divide and conquer by two inefficiencies of
+the traditional deep tree: serialized top-of-tree data movement and poor
+average concurrency.  This benchmark decomposes the comparison: the
+traditional tree's virtual time vs the one-deep pipeline at matched key
+counts, plus the message/byte totals that explain it.
+"""
+
+import numpy as np
+
+from repro.apps.sorting import (
+    one_deep_mergesort,
+    sequential_sort_time,
+    traditional_mergesort,
+)
+from repro.machines.catalog import INTEL_DELTA
+from repro.trace.analysis import summarize
+
+
+def test_onedeep_vs_tree_decomposition(benchmark):
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 2**40, size=1 << 17)
+    p = 32
+
+    def experiment():
+        onedeep = one_deep_mergesort().run(p, data, machine=INTEL_DELTA, trace=True)
+        tree = traditional_mergesort().run(p, data, machine=INTEL_DELTA, trace=True)
+        return onedeep, tree
+
+    onedeep, tree = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    s_od, s_tr = summarize(onedeep.tracer), summarize(tree.tracer)
+    t_seq = sequential_sort_time(data.size, INTEL_DELTA)
+
+    print("\nAblation — one-deep vs traditional tree, 128k keys, 32 ranks")
+    print(f"  {'':>14} {'virtual time':>14} {'speedup':>8} {'messages':>9} {'bytes':>12}")
+    for name, run, s in (("one-deep", onedeep, s_od), ("traditional", tree, s_tr)):
+        print(
+            f"  {name:>14} {run.elapsed * 1e3:>11.1f} ms "
+            f"{t_seq / run.elapsed:>8.1f} {s.total_messages:>9} {s.total_bytes:>12}"
+        )
+
+    # The tree moves far more bytes (every key travels ~log P hops down
+    # and up); one-deep moves each key approximately once.
+    assert s_tr.total_bytes > 2 * s_od.total_bytes
+    # And the tree's virtual time is much worse despite fewer messages.
+    assert tree.elapsed > 3 * onedeep.elapsed

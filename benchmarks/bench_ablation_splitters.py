@@ -1,0 +1,44 @@
+"""Ablation: splitter-computation strategy (paper §2.2).
+
+The one-deep merge parameters can be computed by a single master (gather
+samples, compute, broadcast) or replicated on every rank (allgather
+samples, identical computation everywhere).  The paper presents both;
+this benchmark quantifies the trade on two machines with very different
+latency/compute balances.
+"""
+
+import numpy as np
+
+from repro.apps.sorting import one_deep_mergesort, sequential_sort_time
+from repro.machines.catalog import ETHERNET_SUNS, INTEL_DELTA
+
+
+def _speedup(strategy, machine, data, p):
+    arch = one_deep_mergesort(strategy=strategy)
+    t = arch.run(p, data, machine=machine).elapsed
+    return sequential_sort_time(data.size, machine) / t
+
+
+def test_splitter_strategies(benchmark):
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 2**40, size=1 << 17)
+
+    def experiment():
+        out = {}
+        for machine in (INTEL_DELTA, ETHERNET_SUNS):
+            for p in (8, 32):
+                out[(machine.name, p)] = (
+                    _speedup("master", machine, data, p),
+                    _speedup("replicated", machine, data, p),
+                )
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nAblation — splitter strategy (one-deep mergesort, 128k keys)")
+    print(f"{'machine':>15} {'P':>4} {'master':>9} {'replicated':>11}")
+    for (name, p), (master, replicated) in results.items():
+        print(f"{name:>15} {p:>4} {master:>9.2f} {replicated:>11.2f}")
+    # Both strategies stay within a modest factor of one another; the
+    # sample traffic is tiny compared with the data redistribution.
+    for master, replicated in results.values():
+        assert 0.5 < master / replicated < 2.0

@@ -1,0 +1,74 @@
+"""Extension study: branch-and-bound scaling (the nondeterministic
+archetype of paper §6).
+
+Parallel best-first branch and bound only pays off when the live
+frontier is wide and node evaluation is expensive relative to message
+latency; with the tight Dantzig bound the knapsack search is nearly a
+chain and no machine parallelises it.  This benchmark runs the wide-
+frontier regime (a loosened-but-admissible bound, LP-strength bound
+cost) and reports speedup and node counts, plus the work-grain (chunk)
+trade-off.
+"""
+
+from repro.apps.knapsack import dp_reference, knapsack_bnb, random_instance
+from repro.machines.catalog import IBM_SP
+
+#: a loosened (still admissible) bound -> wide frontier
+SLACK = 0.03
+#: analytic cost of one bound evaluation (models an LP-strength bound)
+BOUND_FLOPS = 1e5
+
+
+def test_bnb_scaling(benchmark):
+    inst = random_instance(22, seed=21)
+    exact = dp_reference(inst)
+
+    def experiment():
+        out = {}
+        t1 = None
+        for p in (1, 2, 4, 8, 16):
+            res = knapsack_bnb(
+                inst, chunk=4, bound_flops=BOUND_FLOPS, bound_slack=SLACK
+            ).run(p, machine=IBM_SP)
+            best = res.values[0]
+            assert abs(-best.value - exact) < 1e-9
+            if t1 is None:
+                t1 = res.elapsed
+            out[p] = (t1 / res.elapsed, best.expanded)
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nExtension — knapsack branch and bound (22 items, loose bound, IBM SP)")
+    print("   P  speedup  nodes expanded")
+    for p, (speedup, nodes) in results.items():
+        print(f"{p:>4}  {speedup:>7.2f}  {nodes:>10}")
+
+    # One rank is the manager, so P=2 has a single worker (speedup ~1)...
+    assert 0.8 < results[2][0] < 1.3
+    # ...and real speedup appears once multiple workers share the frontier.
+    assert results[8][0] > 3
+    assert results[16][0] > results[8][0]
+    # Search overhead stays bounded: timely incumbent broadcasts keep the
+    # node count within a small factor of the sequential search.
+    assert results[16][1] < 1.5 * results[1][1]
+
+
+def test_bnb_chunk_tradeoff(benchmark):
+    """With *cheap* node evaluation, manager round-trips dominate and the
+    work-grain decides everything: per-node dispatch drowns in latency."""
+    inst = random_instance(22, seed=8)
+
+    def experiment():
+        out = {}
+        for chunk in (1, 8, 64):
+            res = knapsack_bnb(inst, chunk=chunk).run(8, machine=IBM_SP)
+            out[chunk] = (res.elapsed, res.values[0].expanded)
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nExtension — work-grain (chunk) trade-off, 8 ranks, cheap bound")
+    print("  chunk  modelled time  nodes expanded")
+    for chunk, (t, nodes) in results.items():
+        print(f"  {chunk:>5}  {t * 1e3:>10.2f} ms  {nodes:>10}")
+    assert results[8][0] < results[1][0]
+    assert results[64][0] < results[1][0]

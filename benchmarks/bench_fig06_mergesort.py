@@ -1,0 +1,31 @@
+"""Figure 6: speedups of traditional and one-deep mergesort vs sequential
+mergesort on the (modelled) Intel Delta.
+
+Paper: "As anticipated, the one-deep version performs significantly
+better" — traditional mergesort flattens almost immediately while the
+one-deep version scales close to linearly through 64 processors.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import FIG06_PROCS, figure06_mergesort
+
+
+def test_fig06_mergesort_speedups(benchmark):
+    onedeep, traditional = run_figure(
+        benchmark,
+        lambda: figure06_mergesort(n=1 << 20, procs=FIG06_PROCS),
+        "Figure 6 — mergesort speedups on the Intel Delta (1M keys)",
+    )
+
+    # Shape claims from the paper's figure:
+    # 1. the one-deep version wins decisively at scale;
+    assert onedeep.at(64).speedup > 4 * traditional.at(64).speedup
+    # 2. one-deep keeps scaling through 64 processors;
+    assert onedeep.is_monotonic()
+    assert onedeep.at(64).speedup > 20
+    # 3. traditional saturates at a small constant speedup;
+    assert traditional.at(64).speedup < 6
+    assert traditional.at(64).speedup - traditional.at(16).speedup < 1.0
+    # 4. at a single processor neither pays much overhead.
+    assert 0.5 < onedeep.at(1).speedup <= 1.05

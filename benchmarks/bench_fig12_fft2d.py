@@ -1,0 +1,27 @@
+"""Figure 12: speedup of the parallel 2-D FFT on the (modelled) IBM SP.
+
+Paper caption: "Disappointing performance is a result of too small a
+ratio of computation to communication.  This parallelization of 2-D FFT
+might nevertheless be sensible as part of a larger computation or for
+problems exceeding the memory requirements of a single processor."
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import FIG12_PROCS, figure12_fft2d
+
+
+def test_fig12_fft2d_speedup(benchmark):
+    (curve,) = run_figure(
+        benchmark,
+        lambda: figure12_fft2d(shape=(128, 128), repeats=5, procs=FIG12_PROCS),
+        "Figure 12 — 2-D FFT speedup on the IBM SP (128x128, 5 repeats)",
+    )
+
+    # Disappointing: nowhere near perfect speedup anywhere on the curve.
+    assert curve.peak().speedup < 8
+    assert curve.at(32).efficiency < 0.25
+    # Still better than sequential for small P.
+    assert curve.at(4).speedup > 1.5
+    # Single-rank overhead is negligible.
+    assert 0.9 < curve.at(1).speedup <= 1.05

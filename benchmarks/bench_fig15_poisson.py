@@ -1,0 +1,22 @@
+"""Figure 15: speedup of the parallel Poisson solver on the (modelled)
+IBM SP — good, steadily sub-linear scaling through 40 processors.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import FIG15_PROCS, figure15_poisson
+
+
+def test_fig15_poisson_speedup(benchmark):
+    (curve,) = run_figure(
+        benchmark,
+        lambda: figure15_poisson(nx=512, ny=512, iters=20, procs=FIG15_PROCS),
+        "Figure 15 — Poisson solver speedup on the IBM SP (512x512, 20 sweeps)",
+    )
+
+    assert curve.is_monotonic()
+    assert curve.at(1).speedup > 0.95
+    assert curve.at(8).speedup > 6
+    # Good but clearly sub-linear by 40 processors.
+    assert 12 < curve.at(40).speedup < 36
+    assert curve.at(40).efficiency < 0.85

@@ -1,0 +1,21 @@
+"""Figure 16: speedup of the 2-D compressible-flow code on the (modelled)
+Intel Delta — close to perfect speedup through ~100 processors.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import FIG16_PROCS, figure16_cfd
+
+
+def test_fig16_cfd_speedup(benchmark):
+    (curve,) = run_figure(
+        benchmark,
+        lambda: figure16_cfd(nx=512, ny=512, steps=3, procs=FIG16_PROCS),
+        "Figure 16 — 2-D CFD speedup on the Intel Delta (512x512)",
+    )
+
+    assert curve.is_monotonic()
+    # Near-perfect through 100 processors.
+    assert curve.at(100).efficiency > 0.85
+    assert curve.at(49).efficiency > 0.9
+    assert 0.95 < curve.at(1).speedup < 1.1

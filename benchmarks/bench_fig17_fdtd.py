@@ -1,0 +1,27 @@
+"""Figure 17: speedup of the 3-D FDTD electromagnetics code on the
+(modelled) IBM SP.
+
+Paper caption: "The decrease in performance for more than ~16 processors
+results from the ratio of computation to communication dropping too low
+for efficiency."
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import FIG17_PROCS, figure17_fdtd
+
+
+def test_fig17_fdtd_speedup(benchmark):
+    (curve,) = run_figure(
+        benchmark,
+        lambda: figure17_fdtd(n=32, steps=4, procs=FIG17_PROCS),
+        "Figure 17 — 3-D FDTD speedup on the IBM SP (32^3 grid)",
+    )
+
+    peak = curve.peak()
+    # The curve rises to a mid-teens peak...
+    assert 8 <= peak.procs <= 16
+    assert peak.speedup > 4
+    # ...and decreases beyond it (the paper's claim).
+    assert curve.at(18).speedup < peak.speedup
+    assert 0.9 < curve.at(1).speedup <= 1.05

@@ -1,0 +1,30 @@
+"""Figure 18: speedup of the spectral incompressible-flow code on the
+(modelled) IBM SP, relative to a 5-processor base.
+
+Paper caption: "Because single-processor execution was not feasible due
+to memory requirements, a minimum of 5 processors was used ...
+Inefficiencies in executing the code on the base number of processors
+(e.g. paging) probably explain the better-than-ideal speedup for small
+numbers of processors."
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import FIG18_PROCS, figure18_spectral
+
+
+def test_fig18_spectral_speedup(benchmark):
+    (curve,) = run_figure(
+        benchmark,
+        lambda: figure18_spectral(nr=256, nz=512, steps=2, procs=FIG18_PROCS),
+        "Figure 18 — spectral flow speedup on the IBM SP (vs 5-processor base)",
+    )
+
+    ideal = {p: p / 5 for p in curve.procs}
+    # Better than ideal at small processor counts (paging at the base)...
+    assert curve.at(10).speedup > ideal[10]
+    assert curve.at(15).speedup > ideal[15]
+    # ...but below ideal at the largest configurations.
+    assert curve.at(40).speedup < ideal[40]
+    # The curve keeps rising through 40 processors, as in the figure.
+    assert curve.is_monotonic()

@@ -1,0 +1,60 @@
+"""Wall-clock microbenchmarks of the library's sequential kernels.
+
+Unlike the figure benchmarks (whose speedups come from the machine
+model), these measure real host time with pytest-benchmark's statistics:
+the from-scratch FFT, the vectorised merge, the skyline sweep, and the
+closest-pair recursion — the kernels every archetype application leans
+on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fftlib import fft
+from repro.apps.nearest import closest_pair
+from repro.apps.skyline import sequential_skyline
+from repro.apps.sorting import merge_two_sorted, sequential_mergesort
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(99)
+
+
+def test_fft_pow2_kernel(benchmark, rng):
+    x = rng.normal(size=(64, 1024)) + 1j * rng.normal(size=(64, 1024))
+    out = benchmark(fft, x)
+    assert out.shape == x.shape
+
+
+def test_fft_bluestein_kernel(benchmark, rng):
+    x = rng.normal(size=(16, 1000)) + 1j * rng.normal(size=(16, 1000))
+    out = benchmark(fft, x)
+    assert out.shape == x.shape
+
+
+def test_merge_kernel(benchmark, rng):
+    a = np.sort(rng.integers(0, 2**40, size=1 << 18))
+    b = np.sort(rng.integers(0, 2**40, size=1 << 18))
+    merged = benchmark(merge_two_sorted, a, b)
+    assert merged.size == a.size + b.size
+
+
+def test_mergesort_kernel(benchmark, rng):
+    data = rng.integers(0, 2**40, size=1 << 15)
+    out = benchmark(sequential_mergesort, data)
+    assert out[0] <= out[-1]
+
+
+def test_skyline_kernel(benchmark, rng):
+    n = 2000
+    left = rng.uniform(0, 1000, n)
+    blds = np.column_stack([left, rng.uniform(1, 60, n), left + rng.uniform(1, 40, n)])
+    sky = benchmark(sequential_skyline, blds)
+    assert sky.shape[1] == 2
+
+
+def test_closest_pair_kernel(benchmark, rng):
+    pts = rng.uniform(0, 1000, size=(4000, 2))
+    d, _, _ = benchmark(closest_pair, pts)
+    assert d > 0

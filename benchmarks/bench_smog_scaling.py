@@ -1,0 +1,37 @@
+"""Extension study: airshed smog model scaling (paper §4.5.4).
+
+The paper describes the CIT airshed code qualitatively (no speedup
+figure survives in the scan), so this benchmark is labelled an
+extension: strong scaling of the full transport + chemistry model on the
+modelled Intel Paragon (one of the platforms §4.5.4 names).
+"""
+
+from repro.apps.smog import sequential_smog_time, smog_archetype
+from repro.machines.catalog import INTEL_PARAGON
+
+
+def test_smog_strong_scaling(benchmark):
+    n, steps = 192, 4
+    procs = (1, 2, 4, 8, 16, 32)
+
+    def experiment():
+        t_seq = sequential_smog_time(n, n, steps, INTEL_PARAGON)
+        out = {}
+        for p in procs:
+            t = (
+                smog_archetype()
+                .run(p, n, n, steps=steps, machine=INTEL_PARAGON, gather=False)
+                .elapsed
+            )
+            out[p] = t_seq / t
+        return out
+
+    speedups = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nExtension — airshed smog model strong scaling (Paragon, 192^2)")
+    print("   P  speedup  efficiency")
+    for p, s in speedups.items():
+        print(f"{p:>4}  {s:>7.2f}  {s / p:>10.2f}")
+
+    assert speedups[1] > 0.9
+    assert speedups[16] > 8
+    assert all(b >= a for a, b in zip(list(speedups.values()), list(speedups.values())[1:]))

@@ -1,0 +1,24 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark regenerates one figure of the paper: it runs the figure's
+experiment once under pytest-benchmark (wall-clock of the simulation),
+prints the speedup rows the paper plots, and asserts the *shape* claims
+the paper states in prose.  Absolute speedups come from the machine
+model, not the host, so they are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SpeedupCurve
+from repro.bench.report import format_curves, render_ascii_plot
+
+
+def run_figure(benchmark, experiment, title: str) -> list[SpeedupCurve]:
+    """Execute *experiment* once under the benchmark fixture and print
+    the figure's table and ASCII plot."""
+    curves = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(format_curves(title, curves))
+    print()
+    print(render_ascii_plot(curves))
+    return curves

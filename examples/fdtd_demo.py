@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""FDTD electromagnetics demo (paper §4.5.2).
+
+A sinusoidal source at the centre of a 3-D PEC cavity radiates for a few
+hundred leapfrog steps on the 3-D mesh archetype; the demo prints the
+total field energy (a copy-consistent global) and renders the central
+Ez slice, showing the expanding spherical wavefront.
+
+Run:  python examples/fdtd_demo.py
+"""
+
+import numpy as np
+
+from repro import IBM_SP
+from repro.apps.fdtd import fdtd_archetype
+from repro.util.asciiart import render_field
+
+N = 40
+PROCS = 8
+
+
+def main() -> None:
+    arch = fdtd_archetype()
+    for steps in (20, 60):
+        result = arch.run(
+            PROCS, N, N, N, steps=steps, source_freq=0.05, machine=IBM_SP
+        )
+        state = result.values[0]
+        mid = state.ez[:, :, N // 2]
+        print(f"\n=== {steps} steps: field energy = {state.energy:.4f} ===")
+        amax = float(np.abs(mid).max()) or 1.0
+        print(render_field(np.abs(mid), width=64, height=20, vmin=0, vmax=amax))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""2-D FFT demo (paper §4.4): spectral low-pass filtering.
+
+Builds a noisy synthetic "image", transforms it with the distributed
+2-D FFT (row FFTs -> redistribute -> column FFTs), zeroes the high
+frequencies, transforms back, and renders before/after.  All the
+interprocess communication lives in the archetype's redistribution.
+
+Run:  python examples/fft_filter_demo.py
+"""
+
+import numpy as np
+
+from repro import IBM_SP
+from repro.apps.fft2d import fft2d_archetype
+from repro.apps.fftlib import fft_frequencies
+from repro.util.asciiart import render_field
+
+N = 64
+PROCS = 8
+CUTOFF = 0.12  # keep |f| below this fraction of the Nyquist band
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    yy, xx = np.mgrid[0:N, 0:N] / N
+    image = (
+        np.sin(2 * np.pi * 2 * xx) * np.cos(2 * np.pi * 3 * yy)
+        + 0.8 * rng.normal(size=(N, N))
+    )
+
+    arch = fft2d_archetype()
+    spectrum = arch.run(PROCS, image.astype(complex), 1, machine=IBM_SP).values[0]
+
+    fr = fft_frequencies(N)
+    mask = (np.abs(fr)[:, None] < CUTOFF) & (np.abs(fr)[None, :] < CUTOFF)
+    filtered_spectrum = spectrum * mask
+
+    smooth = arch.run(PROCS, filtered_spectrum, 1, inverse=True).values[0].real
+
+    print("noisy input:")
+    print(render_field(image, width=64, height=16))
+    print("\nlow-pass filtered (distributed FFT round trip):")
+    print(render_field(smooth, width=64, height=16))
+    residual = np.abs(smooth - image).mean()
+    print(f"\nmean |difference| vs input: {residual:.3f} (noise removed)")
+
+
+if __name__ == "__main__":
+    main()

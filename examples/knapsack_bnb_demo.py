@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Branch-and-bound demo: the nondeterministic archetype of paper §6.
+
+Solves a 0/1 knapsack instance with the manager-worker branch-and-bound
+archetype at several processor counts, showing the archetype's contract
+for nondeterministic patterns: node counts (the dataflow) vary with the
+configuration, the optimum never does.
+
+Run:  python examples/knapsack_bnb_demo.py
+"""
+
+from repro import IBM_SP
+from repro.apps.knapsack import dp_reference, knapsack_bnb, random_instance
+
+
+def main() -> None:
+    inst = random_instance(22, seed=12)
+    exact = dp_reference(inst)
+    print(
+        f"knapsack: {inst.nitems} items, capacity {inst.capacity:.0f}, "
+        f"DP optimum = {exact:.3f}"
+    )
+    print("(loosened bound -> wide frontier; LP-strength bound cost model)\n")
+    print(f"{'P':>4} {'optimum':>10} {'nodes expanded':>15} {'modelled time':>14}")
+    for p in (1, 2, 4, 8, 16):
+        result = knapsack_bnb(
+            inst, chunk=4, bound_flops=1e5, bound_slack=0.03
+        ).run(p, machine=IBM_SP)
+        best = result.values[0]
+        assert abs(-best.value - exact) < 1e-9, "optimality violated!"
+        print(
+            f"{p:>4} {-best.value:>10.3f} {best.expanded:>15} "
+            f"{result.elapsed * 1e3:>11.2f} ms"
+        )
+    print(
+        "\nOne rank manages the open list, the rest expand nodes; the\n"
+        "exploration schedule is nondeterministic but the optimum is\n"
+        "identical in every configuration — the archetype's guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Poisson solver demo (paper §4.4.3).
+
+Solves the Poisson problem on the unit square with a hot top edge and a
+point heat source, on 9 ranks of the modelled IBM SP, and renders the
+temperature field as ASCII art.
+
+Run:  python examples/poisson_demo.py
+"""
+
+import numpy as np
+
+from repro import IBM_SP
+from repro.apps.poisson import poisson_archetype
+from repro.util.asciiart import render_field
+
+N = 48
+
+
+def source(i, j):
+    """A concentrated negative source (heating) off-centre."""
+    shape = np.broadcast(i, j).shape
+    ii = np.broadcast_to(i, shape)
+    jj = np.broadcast_to(j, shape)
+    return np.where((np.abs(ii - 30) < 2) & (np.abs(jj - 32) < 2), -4000.0, 0.0)
+
+
+def boundary(i, j):
+    """Hot top edge, cold everywhere else."""
+    shape = np.broadcast(i, j).shape
+    return np.where(np.broadcast_to(i, shape) == 0, 1.0, 0.0)
+
+
+def main() -> None:
+    result = poisson_archetype().run(
+        9, N, N, f=source, g=boundary, tolerance=1e-5, machine=IBM_SP
+    )
+    state = result.values[0]
+    print(
+        f"Jacobi iteration converged in {state.iterations} sweeps "
+        f"(diffmax={state.diffmax:.2e}) on 9 ranks of {IBM_SP.name}"
+    )
+    print(f"modelled parallel time: {result.elapsed * 1e3:.1f} ms\n")
+    print(render_field(state.solution))
+
+
+if __name__ == "__main__":
+    main()

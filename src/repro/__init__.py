@@ -1,0 +1,66 @@
+"""repro — parallel program archetypes on a simulated message-passing multicomputer.
+
+A reproduction of Massingill & Chandy, *Parallel Program Archetypes*
+(IPPS 1999).  The package provides:
+
+- :mod:`repro.runtime` — an in-process SPMD virtual machine (one thread per
+  rank, deterministic scheduling, per-rank virtual clocks);
+- :mod:`repro.machines` — calibrated performance models of the paper's
+  testbeds (Intel Delta, IBM SP, ...);
+- :mod:`repro.comm` — an MPI-like communication library plus the
+  archetype-specific operations (redistribution, boundary exchange,
+  reductions);
+- :mod:`repro.core` — the archetype abstractions themselves: one-deep
+  divide and conquer and mesh-spectral;
+- :mod:`repro.apps` — the paper's application suite (sorting, skyline,
+  FFT, Poisson, CFD, FDTD, spectral flow, smog model);
+- :mod:`repro.bench` — the experiment harness that regenerates the paper's
+  figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import INTEL_DELTA
+    from repro.apps.sorting import one_deep_mergesort
+
+    data = np.random.default_rng(0).integers(0, 10**6, size=100_000)
+    result = one_deep_mergesort().run(8, data, machine=INTEL_DELTA)
+    assert np.array_equal(np.concatenate(result.values), np.sort(data))
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ArchetypeError,
+    CommError,
+    DeadlockError,
+    DistributionError,
+    ReproError,
+)
+from repro.runtime.spmd import RunResult, spmd_run
+from repro.machines.catalog import (
+    CRAY_T3D,
+    ETHERNET_SUNS,
+    IBM_SP,
+    IDEAL,
+    INTEL_DELTA,
+    INTEL_PARAGON,
+    get_machine,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CommError",
+    "DeadlockError",
+    "DistributionError",
+    "ArchetypeError",
+    "spmd_run",
+    "RunResult",
+    "IDEAL",
+    "INTEL_DELTA",
+    "INTEL_PARAGON",
+    "IBM_SP",
+    "CRAY_T3D",
+    "ETHERNET_SUNS",
+    "get_machine",
+]

@@ -1,0 +1,21 @@
+"""The paper's application suite.
+
+One-deep divide-and-conquer applications (§2.4–§2.5):
+
+- :mod:`repro.apps.sorting` — mergesort (sequential, traditional
+  parallel, one-deep) and one-deep quicksort;
+- :mod:`repro.apps.skyline` — the skyline problem;
+- :mod:`repro.apps.hull` — planar convex hull;
+- :mod:`repro.apps.nearest` — closest pair of points.
+
+Mesh-spectral applications (§4):
+
+- :mod:`repro.apps.fftlib` / :mod:`repro.apps.fft2d` — from-scratch 1-D
+  FFT and the two-dimensional FFT program (§4.4.2);
+- :mod:`repro.apps.poisson` — Jacobi Poisson solver (§4.4.3);
+- :mod:`repro.apps.cfd` — 2-D compressible-flow code (§4.5.1);
+- :mod:`repro.apps.fdtd` — 3-D FDTD electromagnetics (§4.5.2);
+- :mod:`repro.apps.spectralflow` — axisymmetric spectral incompressible
+  flow (§4.5.3);
+- :mod:`repro.apps.smog` — airshed photochemical smog model (§4.5.4).
+"""

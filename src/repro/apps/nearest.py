@@ -1,0 +1,185 @@
+"""Closest pair of points in the plane (paper §2.5).
+
+The paper names "the problem of finding the two nearest neighbors in a
+set of points in a plane" as amenable to one-deep solutions.  The
+one-deep structure here:
+
+- **split** (nontrivial): x-splitters are chosen from a sample and points
+  are redistributed into vertical strips, one per rank;
+- **solve**: each rank runs the classical sequential divide-and-conquer
+  closest-pair algorithm on its strip;
+- **merge**: cross-strip pairs can only occur within ``delta`` (the
+  global minimum of the strip solutions) of a strip boundary, so each
+  rank ships its boundary bands to the neighbouring strips, checks the
+  cross pairs, and a final reduction produces the global answer on every
+  rank.
+
+The merge dataflow is neighbour point-to-point rather than all-to-all,
+so this application subclasses :class:`~repro.core.archetype.Archetype`
+directly — archetypes permit application code to reference the containing
+parallel structure (paper §5, "Program skeletons").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.archetype import Archetype
+from repro.comm.communicator import Comm
+from repro.comm.reductions import MIN
+from repro.apps.sorting.common import sort_cost
+from repro.util.partition import split_evenly
+from repro.util.sampling import splitters_from_samples
+
+_OVERSAMPLE = 32
+
+
+def _pair_key(p: np.ndarray, q: np.ndarray) -> tuple[float, tuple, tuple]:
+    d = float(np.hypot(p[0] - q[0], p[1] - q[1]))
+    a, b = sorted([tuple(p.tolist()), tuple(q.tolist())])
+    return (d, a, b)
+
+
+def brute_force_pair(points: np.ndarray) -> tuple[float, tuple, tuple]:
+    """O(n^2) reference; returns (distance, point_a, point_b)."""
+    pts = np.asarray(points, dtype=float).reshape(-1, 2)
+    n = pts.shape[0]
+    if n < 2:
+        return (math.inf, (), ())
+    best = (math.inf, (), ())
+    for i in range(n - 1):
+        d = np.hypot(pts[i + 1 :, 0] - pts[i, 0], pts[i + 1 :, 1] - pts[i, 1])
+        j = int(np.argmin(d))
+        if d[j] < best[0]:
+            best = _pair_key(pts[i], pts[i + 1 + j])
+    return best
+
+
+def closest_pair(points: np.ndarray) -> tuple[float, tuple, tuple]:
+    """Classical O(n log n) divide-and-conquer closest pair.
+
+    Returns ``(distance, point_a, point_b)`` with the points ordered
+    lexicographically (deterministic tie-breaking); ``(inf, (), ())``
+    for fewer than two points.
+    """
+    pts = np.asarray(points, dtype=float).reshape(-1, 2)
+    if pts.shape[0] < 2:
+        return (math.inf, (), ())
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    px = pts[order]
+    py = px[np.argsort(px[:, 1], kind="stable")]
+    return _closest_rec(px, py)
+
+
+def _closest_rec(px: np.ndarray, py: np.ndarray) -> tuple[float, tuple, tuple]:
+    n = px.shape[0]
+    if n <= 16:
+        return brute_force_pair(px)
+    mid = n // 2
+    midx = px[mid, 0]
+    left_mask = np.zeros(py.shape[0], dtype=bool)
+    # Split py by membership of the left half of px (by index identity via
+    # lexicographic position: points with x < midx go left; ties split by
+    # position, resolved with a stable count).
+    in_left = py[:, 0] < midx
+    # Handle duplicated x == midx columns: count how many belong left.
+    n_strict = int(np.sum(px[:mid, 0] < midx))
+    need_ties = mid - n_strict
+    tie_idx = np.where(py[:, 0] == midx)[0]
+    left_mask[:] = in_left
+    left_mask[tie_idx[:need_ties]] = True
+    dl = _closest_rec(px[:mid], py[left_mask])
+    dr = _closest_rec(px[mid:], py[~left_mask])
+    best = min(dl, dr)
+    delta = best[0]
+    strip = py[np.abs(py[:, 0] - midx) < delta]
+    m = strip.shape[0]
+    for i in range(m):
+        for j in range(i + 1, min(i + 8, m)):
+            if strip[j, 1] - strip[i, 1] >= delta:
+                break
+            cand = _pair_key(strip[i], strip[j])
+            if cand < best:
+                best = cand
+                delta = best[0]
+    return best
+
+
+def closest_pair_cost(n: int) -> float:
+    """Analytic work of the sequential algorithm."""
+    return sort_cost(n) + (10.0 * n * max(1.0, math.log2(max(n, 2))))
+
+
+class OneDeepClosestPair(Archetype):
+    """One-deep closest pair: strip split, local solve, boundary-band merge."""
+
+    name = "one-deep-closest-pair"
+
+    def __init__(self, oversample: int = _OVERSAMPLE):
+        self.oversample = oversample
+
+    def prepare(self, nprocs: int, points: np.ndarray) -> tuple[tuple, dict]:
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        return (split_evenly(pts, nprocs),), {}
+
+    def body(self, comm: Comm, sections: list[np.ndarray]) -> tuple[float, tuple, tuple]:
+        local = np.asarray(sections[comm.rank]).reshape(-1, 2)
+
+        # --- split phase: x-splitters from samples, strip redistribution ---
+        splitters = np.empty(0)
+        if comm.size > 1:
+            s = self.oversample
+            idx = (np.arange(s, dtype=np.int64) * local.shape[0]) // max(s, 1)
+            sample = local[idx % max(local.shape[0], 1), 0] if local.size else local[:0, 0]
+            samples = comm.allgather(sample)
+            splitters = splitters_from_samples(
+                np.concatenate([np.asarray(x) for x in samples]), comm.size
+            )
+            comm.charge(sort_cost(s * comm.size), label="split:params")
+            strip_of = np.searchsorted(splitters, local[:, 0], side="right")
+            comm.charge(4.0 * local.shape[0], label="split:partition")
+            pieces = [local[strip_of == j] for j in range(comm.size)]
+            received = comm.alltoall(pieces)
+            local = (
+                np.vstack([p for p in received if p.size])
+                if any(p.size for p in received)
+                else local[:0]
+            )
+
+        # --- solve phase: sequential closest pair per strip ---
+        comm.charge(closest_pair_cost(local.shape[0]), label="solve")
+        best = closest_pair(local)
+
+        # --- merge phase: cross-strip candidates near strip boundaries ---
+        # A cross-strip pair lies within delta of every boundary it spans,
+        # so checking, at each boundary b, all points (from *any* strip)
+        # with |x - s_b| < delta finds every cross pair — including pairs
+        # spanning strips narrower than delta.  Rank b owns boundary s_b.
+        # An infinite delta (every strip has < 2 points) makes every point
+        # a boundary candidate; there are then at most 2P points total, so
+        # the full exchange below stays cheap.
+        delta = comm.allreduce(best[0], MIN)
+        if comm.size > 1:
+            parcels: list[np.ndarray] = []
+            for b in range(comm.size):
+                if b < splitters.size:
+                    near = local[np.abs(local[:, 0] - splitters[b]) < delta]
+                else:
+                    near = local[:0]
+                parcels.append(near)
+            received = comm.alltoall(parcels)
+            band = np.vstack([np.asarray(p).reshape(-1, 2) for p in received])
+            if band.shape[0] >= 2:
+                comm.charge(closest_pair_cost(band.shape[0]), label="merge:band")
+                cand = closest_pair(band)
+                if cand < best:
+                    best = cand
+        # Global minimum (postcondition: every rank has the answer).
+        return comm.allreduce(best, MIN)
+
+
+def one_deep_closest_pair(oversample: int = _OVERSAMPLE) -> OneDeepClosestPair:
+    """Factory mirroring the other applications' interfaces."""
+    return OneDeepClosestPair(oversample=oversample)

@@ -1,0 +1,190 @@
+"""The skyline problem (paper §2.5.1).
+
+Input: a collection of rectangular buildings ``(left, height, right)``.
+Output: the *skyline* — the piecewise-constant upper contour, represented
+as an ``(k, 2)`` array of ``(x, height)`` key points, each meaning "from
+this x the height is h", strictly increasing in x, ending with height 0.
+
+The sequential algorithm is divide and conquer with a sweep merge; the
+one-deep version follows the paper's recipe exactly: degenerate split
+(buildings already distributed), local solve with the sequential
+algorithm, then a merge phase that samples the x-distribution of local
+skyline points, computes vertical cut lines, slices every local skyline
+into N adjacent pieces, redistributes, and merges each region locally.
+The final skyline is the concatenation of the per-region results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.onedeep import OneDeepDC, PhaseSpec, SplitterStrategy
+from repro.util.sampling import regular_sample, splitters_from_samples
+
+#: work charged per skyline point swept during a merge
+SWEEP_FLOPS_PER_POINT = 8.0
+#: local x-coordinate samples per rank for computing cut lines
+OVERSAMPLE = 32
+
+
+def building_skyline(left: float, height: float, right: float) -> np.ndarray:
+    """Skyline of a single building (the sequential base case)."""
+    if right <= left:
+        raise ValueError(f"building has non-positive width: {left}..{right}")
+    if height < 0:
+        raise ValueError(f"building has negative height {height}")
+    return np.array([[left, height], [right, 0.0]])
+
+
+def height_at(skyline: np.ndarray, x: np.ndarray | float) -> np.ndarray | float:
+    """Height of *skyline* at coordinate(s) *x* (0 before the first point)."""
+    sky = np.asarray(skyline)
+    if sky.size == 0:
+        return np.zeros_like(np.asarray(x, dtype=float))
+    idx = np.searchsorted(sky[:, 0], x, side="right") - 1
+    heights = np.concatenate([[0.0], sky[:, 1]])
+    return heights[np.asarray(idx) + 1]
+
+
+def _compress(xs: np.ndarray, hs: np.ndarray, keep_leading_zero: bool = False) -> np.ndarray:
+    """Drop key points that repeat the previous height.
+
+    A leading zero-height point normally carries no information — except
+    in a *region* skyline (a piece of a vertical cut), where it marks the
+    region's left edge and the ground level there; ``keep_leading_zero``
+    preserves it so region concatenation stays lossless.
+    """
+    if xs.size == 0:
+        return np.empty((0, 2))
+    keep = np.empty(xs.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = hs[1:] != hs[:-1]
+    if hs[0] == 0.0 and not keep_leading_zero:
+        keep[0] = False
+        if xs.size > 1:
+            keep[1] = hs[1] != 0.0
+    return np.column_stack([xs[keep], hs[keep]])
+
+
+def merge_two_skylines(
+    a: np.ndarray, b: np.ndarray, keep_leading_zero: bool = False
+) -> np.ndarray:
+    """Sweep merge: the union contour is the pointwise max of the two."""
+    a = np.asarray(a).reshape(-1, 2)
+    b = np.asarray(b).reshape(-1, 2)
+    if a.size == 0:
+        return b.copy()
+    if b.size == 0:
+        return a.copy()
+    xs = np.union1d(a[:, 0], b[:, 0])
+    hs = np.maximum(height_at(a, xs), height_at(b, xs))
+    return _compress(xs, hs, keep_leading_zero=keep_leading_zero)
+
+
+def merge_skylines(
+    pieces: list[np.ndarray], keep_leading_zero: bool = False
+) -> np.ndarray:
+    """Balanced pairwise merge of many skylines (O(n log k) sweeps)."""
+    runs = [np.asarray(p).reshape(-1, 2) for p in pieces]
+    runs = [r for r in runs if r.size > 0]
+    if not runs:
+        return np.empty((0, 2))
+    while len(runs) > 1:
+        runs = [
+            merge_two_skylines(runs[i], runs[i + 1], keep_leading_zero=keep_leading_zero)
+            if i + 1 < len(runs)
+            else runs[i]
+            for i in range(0, len(runs), 2)
+        ]
+    return runs[0]
+
+
+def sequential_skyline(buildings: np.ndarray) -> np.ndarray:
+    """Sequential divide and conquer: per-building skylines, tree merge."""
+    blds = np.asarray(buildings).reshape(-1, 3)
+    singles = [building_skyline(l, h, r) for l, h, r in blds]
+    return merge_skylines(singles) if singles else np.empty((0, 2))
+
+
+def skyline_cost(nbuildings: int) -> float:
+    """Analytic work of the sequential algorithm on *nbuildings*."""
+    if nbuildings <= 0:
+        return 0.0
+    # Each of ~log2(n) merge levels sweeps ~2n points.
+    return SWEEP_FLOPS_PER_POINT * 2.0 * nbuildings * max(1.0, math.log2(nbuildings))
+
+
+def cut_skyline(skyline: np.ndarray, splitters: np.ndarray) -> list[np.ndarray]:
+    """Cut a skyline at vertical lines into ``len(splitters) + 1`` pieces.
+
+    Piece *i* covers ``[splitters[i-1], splitters[i])``.  Each piece gets a
+    synthetic leading key point at its left cut carrying the prevailing
+    height, so pieces are complete skylines of their region.
+    """
+    sky = np.asarray(skyline).reshape(-1, 2)
+    cuts = np.asarray(splitters, dtype=float)
+    pieces: list[np.ndarray] = []
+    bounds = [-math.inf, *cuts.tolist(), math.inf]
+    for i in range(len(bounds) - 1):
+        lo, hi = bounds[i], bounds[i + 1]
+        if sky.size == 0:
+            pieces.append(np.empty((0, 2)))
+            continue
+        inside = sky[(sky[:, 0] >= lo) & (sky[:, 0] < hi)]
+        if math.isfinite(lo):
+            # Every finite-origin piece carries an explicit point at the
+            # cut (even at ground level) so regions concatenate lossless.
+            h0 = float(height_at(sky, lo))
+            if inside.size == 0 or inside[0, 0] > lo:
+                inside = np.vstack([[lo, h0], inside.reshape(-1, 2)])
+        pieces.append(_compress(inside[:, 0], inside[:, 1], keep_leading_zero=True))
+    return pieces
+
+
+def one_deep_skyline(
+    strategy: SplitterStrategy | str = SplitterStrategy.REPLICATED,
+    oversample: int = OVERSAMPLE,
+) -> OneDeepDC:
+    """The one-deep skyline archetype instance (paper §2.5.1).
+
+    After ``run(P, buildings)``, rank *i*'s return value is the skyline of
+    the *i*-th x-region; :func:`merge_skylines` over the per-rank values
+    (or plain concatenation followed by compression) gives the full
+    skyline.
+    """
+    merge = PhaseSpec(
+        # Sample the x-distribution of local skyline points (the paper's
+        # "leftmost and rightmost points" generalised to quantiles so
+        # regions get approximately equal point counts).
+        sample=lambda sky: regular_sample(np.asarray(sky).reshape(-1, 2)[:, 0], oversample),
+        params=lambda samples, n: splitters_from_samples(
+            np.concatenate([np.asarray(s) for s in samples]), n
+        ),
+        partition=lambda splitters, sky, n: (
+            cut_skyline(sky, splitters)
+            + [np.empty((0, 2))] * (n - 1 - len(np.atleast_1d(splitters)))
+        ),
+        combine=lambda pieces: merge_skylines(pieces, keep_leading_zero=True),
+        sample_cost=lambda sky: float(oversample),
+        partition_cost=lambda sky: 2.0 * np.asarray(sky).size,
+        combine_cost=lambda combined: SWEEP_FLOPS_PER_POINT
+        * np.asarray(combined).reshape(-1, 2).shape[0]
+        * 4.0,
+    )
+    return OneDeepDC(
+        solve=sequential_skyline,
+        solve_cost=lambda blds: skyline_cost(np.asarray(blds).reshape(-1, 3).shape[0]),
+        merge=merge,
+        strategy=strategy,
+    )
+
+
+def concat_region_skylines(pieces: list[np.ndarray]) -> np.ndarray:
+    """Assemble the global skyline from per-region results."""
+    stacked = [np.asarray(p).reshape(-1, 2) for p in pieces if np.asarray(p).size]
+    if not stacked:
+        return np.empty((0, 2))
+    all_points = np.vstack(stacked)
+    return _compress(all_points[:, 0], all_points[:, 1])

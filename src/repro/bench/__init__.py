@@ -1,0 +1,43 @@
+"""Benchmark harness: the experiments behind every figure in the paper.
+
+:mod:`repro.bench.harness` runs speedup experiments (virtual parallel
+time vs. a sequential baseline on a modelled machine);
+:mod:`repro.bench.figures` defines one experiment per numeric figure of
+the paper (Figures 6, 12, 15, 16, 17, 18); :mod:`repro.bench.report`
+renders the series as the tables/ASCII plots the benchmark suite prints.
+"""
+
+from repro.bench.harness import SpeedupCurve, SpeedupPoint, measure_speedups
+from repro.bench.figures import (
+    figure06_mergesort,
+    figure12_fft2d,
+    figure15_poisson,
+    figure16_cfd,
+    figure17_fdtd,
+    figure18_spectral,
+)
+from repro.bench.report import format_curves, render_ascii_plot
+from repro.bench.predict import (
+    predict_cfd,
+    predict_fft2d,
+    predict_onedeep_sort,
+    predict_poisson,
+)
+
+__all__ = [
+    "predict_onedeep_sort",
+    "predict_poisson",
+    "predict_fft2d",
+    "predict_cfd",
+    "SpeedupPoint",
+    "SpeedupCurve",
+    "measure_speedups",
+    "figure06_mergesort",
+    "figure12_fft2d",
+    "figure15_poisson",
+    "figure16_cfd",
+    "figure17_fdtd",
+    "figure18_spectral",
+    "format_curves",
+    "render_ascii_plot",
+]

@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate a paper figure from the shell.
+
+Usage::
+
+    python -m repro.bench fig06            # Figure 6 at default scale
+    python -m repro.bench fig17 --json out.json
+    python -m repro.bench list
+
+Each figure command runs the corresponding experiment, prints the
+speedup table and an ASCII plot, and optionally writes the series as
+JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import figures
+from repro.bench.harness import SpeedupCurve
+from repro.bench.report import format_curves, render_ascii_plot
+
+FIGURES = {
+    "fig06": (figures.figure06_mergesort, "traditional vs one-deep mergesort (Delta)"),
+    "fig12": (figures.figure12_fft2d, "2-D FFT (IBM SP)"),
+    "fig15": (figures.figure15_poisson, "Poisson solver (IBM SP)"),
+    "fig16": (figures.figure16_cfd, "2-D CFD (Delta)"),
+    "fig17": (figures.figure17_fdtd, "3-D FDTD (IBM SP)"),
+    "fig18": (figures.figure18_spectral, "spectral flow vs 5-proc base (IBM SP)"),
+}
+
+
+def curves_to_json(curves: list[SpeedupCurve]) -> list[dict]:
+    return [
+        {
+            "label": c.label,
+            "points": [
+                {"procs": p.procs, "t_seq": p.t_seq, "t_par": p.t_par, "speedup": p.speedup}
+                for p in c.points
+            ],
+        }
+        for c in curves
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate a figure from Massingill & Chandy (IPPS 1999).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=[*FIGURES, "list"],
+        help="figure to regenerate, or 'list' to enumerate them",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write the series as JSON")
+    parser.add_argument(
+        "--no-plot", action="store_true", help="table only, skip the ASCII plot"
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name, (_, description) in FIGURES.items():
+            print(f"  {name}: {description}")
+        return 0
+
+    experiment, description = FIGURES[args.figure]
+    curves = experiment()
+    print(format_curves(f"{args.figure} — {description}", curves))
+    if not args.no_plot:
+        print()
+        print(render_ascii_plot(curves))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(curves_to_json(curves), fh, indent=2)
+        print(f"\nseries written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""One experiment per numeric figure of the paper.
+
+Each ``figureNN_*`` function runs the corresponding workload on the
+modelled machine and returns the speedup curve(s) the figure plots.
+Workload parameters garbled in the source scan are chosen to land in the
+regime the prose describes (see EXPERIMENTS.md); the assertions the
+benchmark suite applies check the *shape* claims the paper makes in
+text, not absolute numbers.
+
+All experiments execute the real algorithms on real data through the
+virtual machine; virtual times come from the machine model applied to
+the actual message pattern and the analytic work charges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.bench.harness import SpeedupCurve, measure_speedups
+from repro.machines.catalog import IBM_SP, INTEL_DELTA
+from repro.machines.model import MachineModel
+from repro.apps.sorting.mergesort import (
+    one_deep_mergesort,
+    sequential_sort_time,
+    traditional_mergesort,
+)
+from repro.apps.fft2d import fft2d_archetype, sequential_fft2d_time
+from repro.apps.poisson import poisson_archetype, sequential_poisson_time
+from repro.apps.cfd import cfd_archetype, sequential_cfd_time
+from repro.apps.fdtd import fdtd_archetype, sequential_fdtd_time
+from repro.apps.spectralflow import (
+    sequential_spectralflow_time,
+    spectralflow_archetype,
+)
+
+#: default process counts per figure (the paper's x-axes)
+FIG06_PROCS = (1, 2, 4, 8, 16, 32, 64)
+FIG12_PROCS = (1, 2, 4, 8, 16, 32)
+FIG15_PROCS = (1, 2, 4, 8, 16, 32, 40)
+FIG16_PROCS = (1, 2, 4, 9, 16, 25, 49, 100)
+FIG17_PROCS = (1, 2, 4, 8, 12, 16, 18)
+FIG18_PROCS = (5, 10, 15, 20, 25, 30, 35, 40)
+
+
+def figure06_mergesort(
+    n: int = 1 << 20,
+    procs: tuple[int, ...] = FIG06_PROCS,
+    machine: MachineModel = INTEL_DELTA,
+    seed: int = 0,
+) -> list[SpeedupCurve]:
+    """Figure 6: traditional vs one-deep mergesort on the Intel Delta.
+
+    The paper sorts ~10M integers on up to 64 processors; we default to
+    2^20 keys (the comm/compute ratio, which sets the curve shapes, is
+    nearly size-independent for sort workloads at these scales).
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, np.iinfo(np.int64).max, size=n)
+    t_seq = sequential_sort_time(n, machine)
+
+    onedeep = one_deep_mergesort()
+    traditional = traditional_mergesort()
+    curves = [
+        measure_speedups(
+            "one-deep mergesort",
+            lambda p: onedeep.run(p, data, machine=machine),
+            procs,
+            t_seq,
+        ),
+        measure_speedups(
+            "traditional mergesort",
+            lambda p: traditional.run(p, data, machine=machine),
+            procs,
+            t_seq,
+        ),
+    ]
+    return curves
+
+
+def figure12_fft2d(
+    shape: tuple[int, int] = (128, 128),
+    repeats: int = 5,
+    procs: tuple[int, ...] = FIG12_PROCS,
+    machine: MachineModel = IBM_SP,
+    seed: int = 0,
+) -> list[SpeedupCurve]:
+    """Figure 12: parallel 2-D FFT vs sequential on the IBM SP.
+
+    The paper's caption calls the performance "disappointing ... a result
+    of too small a ratio of computation to communication"; the modest
+    grid keeps the experiment in that regime.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    t_seq = sequential_fft2d_time(shape, repeats, machine)
+    arch = fft2d_archetype()
+    return [
+        measure_speedups(
+            "2-D FFT",
+            lambda p: arch.run(p, data, repeats, machine=machine),
+            procs,
+            t_seq,
+        )
+    ]
+
+
+def figure15_poisson(
+    nx: int = 512,
+    ny: int = 512,
+    iters: int = 20,
+    procs: tuple[int, ...] = FIG15_PROCS,
+    machine: MachineModel = IBM_SP,
+) -> list[SpeedupCurve]:
+    """Figure 15: Jacobi Poisson solver on the IBM SP.
+
+    Runs a fixed number of Jacobi sweeps (tolerance set unreachably low
+    so every process count does identical work)."""
+    arch = poisson_archetype()
+    t_seq = sequential_poisson_time(nx, ny, iters, machine)
+    return [
+        measure_speedups(
+            "Poisson solver",
+            lambda p: arch.run(
+                p,
+                nx,
+                ny,
+                machine=machine,
+                tolerance=0.0,
+                max_iters=iters,
+                gather_solution=False,
+            ),
+            procs,
+            t_seq,
+        )
+    ]
+
+
+def figure16_cfd(
+    nx: int = 512,
+    ny: int = 512,
+    steps: int = 3,
+    procs: tuple[int, ...] = FIG16_PROCS,
+    machine: MachineModel = INTEL_DELTA,
+) -> list[SpeedupCurve]:
+    """Figure 16: 2-D compressible-flow code on the Intel Delta —
+    close-to-perfect speedup to ~100 processors.
+
+    The grid is the largest that fits one Delta node's memory (the
+    baseline is single-node execution, as in the paper's caption), with
+    the production optimisations real codes used: packed boundary
+    messages and a CFL reduction computed once per run.
+    """
+    arch = cfd_archetype()
+    t_seq = sequential_cfd_time(nx, ny, steps, machine)
+    return [
+        measure_speedups(
+            "2-D CFD",
+            lambda p: arch.run(
+                p,
+                nx,
+                ny,
+                steps,
+                ic="smooth",
+                machine=machine,
+                gather=False,
+                cfl_interval=steps,
+            ),
+            procs,
+            t_seq,
+        )
+    ]
+
+
+def figure17_fdtd(
+    n: int = 32,
+    steps: int = 4,
+    procs: tuple[int, ...] = FIG17_PROCS,
+    machine: MachineModel = IBM_SP,
+) -> list[SpeedupCurve]:
+    """Figure 17: 3-D FDTD electromagnetics on the IBM SP.
+
+    The paper: "the decrease in performance for more than ~16 processors
+    results from the ratio of computation to communication dropping too
+    low for efficiency" — a small grid per node plus switch congestion
+    reproduces the peak-then-decline."""
+    arch = fdtd_archetype()
+    t_seq = sequential_fdtd_time(n, n, n, steps, machine)
+    return [
+        measure_speedups(
+            "3-D FDTD",
+            lambda p: arch.run(p, n, n, n, steps=steps, machine=machine, gather=False),
+            procs,
+            t_seq,
+        )
+    ]
+
+
+def figure18_spectral(
+    nr: int = 256,
+    nz: int = 512,
+    steps: int = 2,
+    procs: tuple[int, ...] = FIG18_PROCS,
+    machine: MachineModel | None = None,
+    base_procs: int = 5,
+) -> list[SpeedupCurve]:
+    """Figure 18: spectral flow code on the IBM SP, speedup relative to a
+    5-processor base.
+
+    The paper: single-processor execution "was not feasible due to memory
+    requirements", and "inefficiencies in executing the code on the base
+    number of processors (e.g. paging) probably explain the better-than-
+    ideal speedup for small numbers of processors".  We model nodes whose
+    memory holds the per-rank working set only for P > ~8, so the base
+    configuration pages and the speedup relative to it starts
+    super-ideal.  The curve reports T(base)/T(P); ideal is P/base.
+    """
+    if machine is None:
+        # SP nodes sized so the base configuration's working set slightly
+        # overflows node memory (mild paging), while P >= 2*base fits.
+        working_set_total = 10 * 8.0 * nr * nz
+        machine = dataclasses.replace(
+            IBM_SP,
+            mem_per_node=working_set_total / base_procs * 0.96,
+            name="ibm-sp-small-mem",
+        )
+    arch = spectralflow_archetype()
+    base = arch.run(
+        base_procs, nr, nz, steps=steps, dt=1e-3, machine=machine, gather=False
+    )
+    t_base = base.elapsed
+    curve = measure_speedups(
+        f"spectral flow (vs {base_procs} procs)",
+        lambda p: arch.run(
+            p, nr, nz, steps=steps, dt=1e-3, machine=machine, gather=False
+        ),
+        procs,
+        t_base,
+    )
+    return [curve]
+
+
+def sequential_spectral_reference(nr: int, nz: int, steps: int, machine: MachineModel) -> float:
+    """Exposed for analysis: the (paged) sequential baseline of Fig. 18."""
+    return sequential_spectralflow_time(nr, nz, steps, machine)

@@ -1,0 +1,94 @@
+"""Speedup-experiment harness.
+
+A speedup experiment runs an archetype program at several process counts
+on a modelled machine, compares each run's virtual makespan with the
+sequential algorithm's virtual time, and reports the speedup series —
+the quantity every numeric figure in the paper plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.runtime.spmd import RunResult
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One point of a speedup curve."""
+
+    procs: int
+    t_seq: float
+    t_par: float
+
+    @property
+    def speedup(self) -> float:
+        if self.t_par <= 0:
+            raise ReproError("parallel virtual time is zero")
+        return self.t_seq / self.t_par
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.procs
+
+
+@dataclass
+class SpeedupCurve:
+    """A named speedup series (one line of a paper figure)."""
+
+    label: str
+    points: list[SpeedupPoint] = field(default_factory=list)
+
+    @property
+    def procs(self) -> list[int]:
+        return [p.procs for p in self.points]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [p.speedup for p in self.points]
+
+    def at(self, procs: int) -> SpeedupPoint:
+        for p in self.points:
+            if p.procs == procs:
+                return p
+        raise ReproError(f"curve {self.label!r} has no point at P={procs}")
+
+    def peak(self) -> SpeedupPoint:
+        """The point with the highest speedup."""
+        return max(self.points, key=lambda p: p.speedup)
+
+    def is_monotonic(self) -> bool:
+        s = self.speedups
+        return all(b >= a for a, b in zip(s, s[1:]))
+
+
+def measure_speedups(
+    label: str,
+    run: Callable[[int], RunResult],
+    procs: Sequence[int],
+    sequential_time: float | Callable[[], float],
+) -> SpeedupCurve:
+    """Run the experiment at each process count and build the curve.
+
+    ``run(P)`` executes the parallel program on P ranks and returns its
+    :class:`RunResult`; ``sequential_time`` is the baseline virtual time
+    (or a thunk computing it once).
+    """
+    t_seq = sequential_time() if callable(sequential_time) else sequential_time
+    if t_seq <= 0:
+        raise ReproError(f"sequential baseline time must be positive, got {t_seq}")
+    curve = SpeedupCurve(label=label)
+    for p in procs:
+        result = run(p)
+        curve.points.append(SpeedupPoint(procs=p, t_seq=t_seq, t_par=result.elapsed))
+    return curve
+
+
+def perfect_curve(procs: Sequence[int]) -> SpeedupCurve:
+    """The "perfect speedup" reference line (speedup == P)."""
+    return SpeedupCurve(
+        label="perfect speedup",
+        points=[SpeedupPoint(procs=p, t_seq=float(p), t_par=1.0) for p in procs],
+    )

@@ -1,0 +1,174 @@
+"""Analytic archetype performance models (the paper's reference [32]).
+
+The paper argues archetypes "may also be helpful in developing
+performance models for classes of programs with common structure"
+(§1.1).  This module provides closed-form T(P) predictions for the
+archetype programs, built from per-collective cost terms derived from
+the machine model and the archetypes' known communication patterns.
+
+The test suite validates the predictions against the simulator: because
+the simulation executes the real message pattern, agreement (within a
+tolerance covering skew/wait effects the closed forms ignore) is
+evidence for both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machines.model import MachineModel
+from repro.util.nbytes import _OVERHEAD_BYTES
+from repro.apps.sorting.common import MERGE_FLOPS_PER_KEY, merge_cost, sort_cost
+from repro.apps.fftlib import fft_cost
+from repro.apps.poisson import FLOPS_PER_POINT
+
+
+# -- collective cost terms -----------------------------------------------------
+def _round_cost(machine: MachineModel, nbytes: float, nodes: int) -> float:
+    """One communication round on the critical path: a send plus the
+    matching receive's ingest overhead."""
+    payload = int(nbytes) + _OVERHEAD_BYTES
+    return machine.message_time(payload, nodes=nodes) + machine.recv_overhead(
+        payload, nodes=nodes
+    )
+
+
+def ring_allgather_time(machine: MachineModel, nodes: int, item_bytes: float) -> float:
+    """P-1 neighbour rounds, each carrying one accumulated item."""
+    if nodes <= 1:
+        return 0.0
+    return (nodes - 1) * _round_cost(machine, item_bytes + 16, nodes)
+
+
+def alltoall_time(machine: MachineModel, nodes: int, parcel_bytes: float) -> float:
+    """Pairwise exchange: P-1 rounds of one parcel each way per rank."""
+    if nodes <= 1:
+        return 0.0
+    return (nodes - 1) * _round_cost(machine, parcel_bytes, nodes)
+
+
+def allreduce_time(machine: MachineModel, nodes: int, item_bytes: float = 8) -> float:
+    """Recursive doubling: ~ceil(log2 P) rounds, plus the fold/unfold
+    rounds for non-powers of two."""
+    if nodes <= 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nodes))
+    pof2 = 1 << (nodes.bit_length() - 1)
+    if pof2 != nodes:
+        rounds += 2
+    return rounds * _round_cost(machine, item_bytes, nodes)
+
+
+def exchange_time(
+    machine: MachineModel,
+    nodes: int,
+    proc_grid: tuple[int, ...],
+    slab_bytes_per_axis: tuple[float, ...],
+) -> float:
+    """Ghost exchange: two messages per split axis on the critical path."""
+    total = 0.0
+    for dim, slab in zip(proc_grid, slab_bytes_per_axis):
+        if dim > 1:
+            total += 2 * _round_cost(machine, slab, nodes)
+    return total
+
+
+# -- archetype program models ---------------------------------------------------
+def predict_onedeep_sort(
+    n: int, nodes: int, machine: MachineModel, oversample: int = 32
+) -> float:
+    """T(P) of one-deep mergesort (replicated splitter strategy)."""
+    local = n / nodes
+    compute = (
+        sort_cost(local)  # local solve
+        + oversample  # sampling
+        + sort_cost(oversample * nodes)  # splitter computation
+        + MERGE_FLOPS_PER_KEY * local  # partition
+        + merge_cost(local, ways=8)  # k-way merge of received runs
+    ) * machine.flop_time
+    comm = ring_allgather_time(machine, nodes, oversample * 8) + alltoall_time(
+        machine, nodes, 8 * n / nodes**2
+    )
+    return compute + comm
+
+
+def predict_poisson(
+    nx: int,
+    ny: int,
+    iters: int,
+    nodes: int,
+    machine: MachineModel,
+    proc_grid: tuple[int, int] | None = None,
+) -> float:
+    """T(P) of the Jacobi Poisson solver (fixed iteration count)."""
+    if proc_grid is None:
+        from repro.comm.cart import choose_proc_grid
+
+        proc_grid = choose_proc_grid(nodes, 2)  # type: ignore[assignment]
+    pr, pc = proc_grid
+    points = nx * ny / nodes
+    per_iter_compute = (FLOPS_PER_POINT + 2.0 + 2.0) * points * machine.flop_time
+    per_iter_comm = exchange_time(
+        machine,
+        nodes,
+        proc_grid,
+        ((ny / pc) * 8.0, (nx / pr) * 8.0),
+    ) + allreduce_time(machine, nodes)
+    return iters * (per_iter_compute + per_iter_comm)
+
+
+def predict_fft2d(
+    rows: int,
+    cols: int,
+    repeats: int,
+    nodes: int,
+    machine: MachineModel,
+    gather: bool = True,
+) -> float:
+    """T(P) of the distributed 2-D FFT program (including the final
+    gather to rank 0 that the program performs)."""
+    per_repeat_compute = (
+        fft_cost(cols) * (rows / nodes) + fft_cost(rows) * (cols / nodes)
+    ) * machine.flop_time
+    parcel = 16.0 * (rows / nodes) * (cols / nodes)  # complex128 blocks
+    per_repeat_comm = 2 * alltoall_time(machine, nodes, parcel)
+    total = repeats * (per_repeat_compute + per_repeat_comm)
+    if gather and nodes > 1:
+        # Root ingests P-1 section-sized messages; the senders' transfers
+        # overlap, so the receive overheads dominate the critical path.
+        section = 16.0 * rows * cols / nodes
+        total += machine.message_time(int(section), nodes=nodes) + (
+            nodes - 1
+        ) * machine.recv_overhead(int(section) + _OVERHEAD_BYTES, nodes=nodes)
+    return total
+
+
+def predict_cfd(
+    nx: int,
+    ny: int,
+    steps: int,
+    nodes: int,
+    machine: MachineModel,
+    proc_grid: tuple[int, int] | None = None,
+    cfl_interval: int = 1,
+) -> float:
+    """T(P) of the compressible-flow step loop (packed exchange)."""
+    from repro.apps.cfd import FLOPS_PER_CELL
+
+    if proc_grid is None:
+        from repro.comm.cart import choose_proc_grid
+
+        proc_grid = choose_proc_grid(nodes, 2)  # type: ignore[assignment]
+    pr, pc = proc_grid
+    cells = nx * ny / nodes
+    per_step_compute = FLOPS_PER_CELL * cells * machine.flop_time
+    # Packed exchange: 4 state components in one slab per direction.
+    per_step_comm = exchange_time(
+        machine,
+        nodes,
+        proc_grid,
+        (4 * (ny / pc + 2) * 8.0, 4 * (nx / pr + 2) * 8.0),
+    )
+    reduces = math.ceil(steps / cfl_interval)
+    cfl = reduces * (6.0 * cells * machine.flop_time + allreduce_time(machine, nodes))
+    return steps * (per_step_compute + per_step_comm) + cfl

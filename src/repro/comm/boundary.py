@@ -1,0 +1,178 @@
+"""Ghost-boundary exchange (paper §4.3, Figure 8's companion operation).
+
+Grid operations that read neighbouring points need each local section
+surrounded by a *ghost boundary* holding shadow copies of the neighbours'
+edge values.  ``exchange_ghosts`` refreshes those shadows: for every grid
+axis, each rank swaps a ``ghost``-deep slab with its face neighbours.
+
+Axes are processed in order and each slab spans the *full* extent of the
+other axes (ghost layers included), so after the final axis corner and
+edge ghost cells are correct too — the standard trick that makes one
+face-exchange pass sufficient for 9-point/27-point stencils.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.comm.cart import CartGrid
+from repro.comm.communicator import Comm, MAX_USER_TAG
+
+#: tag space reserved for boundary exchange (below the user-tag cap)
+_BOUNDARY_TAG_BASE = MAX_USER_TAG - 64
+
+
+def _slab(
+    arr: np.ndarray, axis: int, start: int, stop: int
+) -> tuple[slice, ...]:
+    """Full-extent slices except ``start:stop`` along *axis*."""
+    return tuple(
+        slice(start, stop) if d == axis else slice(None) for d in range(arr.ndim)
+    )
+
+
+def exchange_ghosts(
+    comm: Comm,
+    local: np.ndarray,
+    grid: CartGrid,
+    ghost: int = 1,
+    periodic: tuple[bool, ...] | bool = False,
+) -> None:
+    """Refresh the ghost layers of *local* in place.
+
+    Parameters
+    ----------
+    local:
+        This rank's section *including* ghost layers: ``ghost`` cells on
+        each side of every axis.
+    grid:
+        The Cartesian process grid (``grid.nranks == comm.size``).
+    ghost:
+        Ghost width (>= 1).
+    periodic:
+        Per-axis periodicity (or one bool for all axes).  On non-periodic
+        physical edges the ghost cells are left untouched (they hold
+        boundary conditions maintained by the application).
+    """
+    if ghost < 1:
+        raise DistributionError(f"ghost width must be >= 1, got {ghost}")
+    if grid.nranks != comm.size:
+        raise DistributionError(
+            f"process grid has {grid.nranks} ranks, communicator {comm.size}"
+        )
+    if local.ndim != grid.ndim:
+        raise DistributionError(
+            f"local array is {local.ndim}-D but process grid is {grid.ndim}-D"
+        )
+    if any(n < 2 * ghost for n in local.shape):
+        raise DistributionError(
+            f"local shape {local.shape} too small for ghost width {ghost}"
+        )
+    if isinstance(periodic, bool):
+        periodic = tuple(periodic for _ in range(grid.ndim))
+    if len(periodic) != grid.ndim:
+        raise DistributionError(
+            f"periodic flags {periodic} do not match grid rank {grid.ndim}"
+        )
+
+    n = local.shape
+    for axis in range(grid.ndim):
+        lo_nbr = grid.shift(comm.rank, axis, -1, periodic[axis])
+        hi_nbr = grid.shift(comm.rank, axis, +1, periodic[axis])
+        tag_lo = _BOUNDARY_TAG_BASE + 2 * axis  # travelling toward lower coords
+        tag_hi = _BOUNDARY_TAG_BASE + 2 * axis + 1  # travelling toward higher
+
+        # Post both sends first (sends are buffered), then receive.
+        if lo_nbr is not None:
+            piece = np.ascontiguousarray(local[_slab(local, axis, ghost, 2 * ghost)])
+            comm.send(lo_nbr, piece, tag=tag_lo)
+        if hi_nbr is not None:
+            piece = np.ascontiguousarray(
+                local[_slab(local, axis, n[axis] - 2 * ghost, n[axis] - ghost)]
+            )
+            comm.send(hi_nbr, piece, tag=tag_hi)
+        if hi_nbr is not None:
+            local[_slab(local, axis, n[axis] - ghost, n[axis])] = comm.recv(
+                hi_nbr, tag=tag_lo
+            )
+        if lo_nbr is not None:
+            local[_slab(local, axis, 0, ghost)] = comm.recv(lo_nbr, tag=tag_hi)
+
+
+def exchange_ghosts_many(
+    comm: Comm,
+    locals_: list[np.ndarray],
+    grid: CartGrid,
+    ghost: int = 1,
+    periodic: tuple[bool, ...] | bool = False,
+) -> None:
+    """Refresh ghost layers of several same-shaped arrays in one message
+    per neighbour per direction.
+
+    Production stencil codes pack all state components into a single
+    boundary message to amortise the per-message latency; this is the
+    packed variant of :func:`exchange_ghosts` (and the subject of the
+    message-packing ablation benchmark).
+    """
+    if not locals_:
+        return
+    first = locals_[0]
+    for arr in locals_[1:]:
+        if arr.shape != first.shape:
+            raise DistributionError(
+                "exchange_ghosts_many needs same-shaped arrays; got "
+                f"{arr.shape} vs {first.shape}"
+            )
+    if ghost < 1:
+        raise DistributionError(f"ghost width must be >= 1, got {ghost}")
+    if grid.nranks != comm.size:
+        raise DistributionError(
+            f"process grid has {grid.nranks} ranks, communicator {comm.size}"
+        )
+    if isinstance(periodic, bool):
+        periodic = tuple(periodic for _ in range(grid.ndim))
+
+    n = first.shape
+    for axis in range(grid.ndim):
+        lo_nbr = grid.shift(comm.rank, axis, -1, periodic[axis])
+        hi_nbr = grid.shift(comm.rank, axis, +1, periodic[axis])
+        tag_lo = _BOUNDARY_TAG_BASE + 32 + 2 * axis
+        tag_hi = _BOUNDARY_TAG_BASE + 32 + 2 * axis + 1
+        if lo_nbr is not None:
+            sel = _slab(first, axis, ghost, 2 * ghost)
+            comm.send(lo_nbr, np.stack([a[sel] for a in locals_]), tag=tag_lo)
+        if hi_nbr is not None:
+            sel = _slab(first, axis, n[axis] - 2 * ghost, n[axis] - ghost)
+            comm.send(hi_nbr, np.stack([a[sel] for a in locals_]), tag=tag_hi)
+        if hi_nbr is not None:
+            packed = comm.recv(hi_nbr, tag=tag_lo)
+            sel = _slab(first, axis, n[axis] - ghost, n[axis])
+            for a, piece in zip(locals_, packed):
+                a[sel] = piece
+        if lo_nbr is not None:
+            packed = comm.recv(lo_nbr, tag=tag_hi)
+            sel = _slab(first, axis, 0, ghost)
+            for a, piece in zip(locals_, packed):
+                a[sel] = piece
+
+
+def add_ghosts(section: np.ndarray, ghost: int, fill: float = 0.0) -> np.ndarray:
+    """Return a copy of *section* padded with *ghost* cells per side."""
+    if ghost < 0:
+        raise DistributionError(f"ghost width must be >= 0, got {ghost}")
+    padded = np.full(
+        tuple(n + 2 * ghost for n in section.shape), fill, dtype=section.dtype
+    )
+    padded[interior(padded, ghost)] = section
+    return padded
+
+
+def interior(arr_with_ghosts: np.ndarray, ghost: int) -> tuple[slice, ...]:
+    """Slices selecting the owned interior of a ghosted array."""
+    return tuple(slice(ghost, n - ghost) for n in arr_with_ghosts.shape)
+
+
+def strip_ghosts(arr_with_ghosts: np.ndarray, ghost: int) -> np.ndarray:
+    """Copy of the owned interior (ghost layers removed)."""
+    return arr_with_ghosts[interior(arr_with_ghosts, ghost)].copy()

@@ -1,0 +1,188 @@
+"""Data layouts: which rectangle of a global array each rank owns.
+
+A :class:`Layout` assigns every rank a (possibly empty) axis-aligned
+rectangle of a global index space.  The standard layouts of the paper are
+provided as factories: by rows, by columns, by N-dimensional blocks over a
+process grid, and single-owner (all data on one rank, used around
+sequential file I/O).  Redistribution between any two layouts of the same
+global shape is a pure function of their rectangle intersections
+(:mod:`repro.comm.redistribute`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from repro.errors import DistributionError
+from repro.util.partition import block_bounds
+
+#: a rectangle: per-dimension half-open (lo, hi) bounds
+Rect = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Assignment of global-array rectangles to ranks.
+
+    ``rects[r]`` is rank r's rectangle as per-dimension ``(lo, hi)``
+    half-open bounds.  Rectangles of a valid distribution tile the global
+    shape (disjoint cover); *replicated* layouts break disjointness
+    deliberately and say so via ``replicated=True``.
+    """
+
+    global_shape: tuple[int, ...]
+    rects: tuple[Rect, ...]
+    name: str = "custom"
+    replicated: bool = False
+
+    @property
+    def nranks(self) -> int:
+        return len(self.rects)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.global_shape)
+
+    def rect(self, rank: int) -> Rect:
+        return self.rects[rank]
+
+    def shape(self, rank: int) -> tuple[int, ...]:
+        """Local array shape on *rank*."""
+        return tuple(hi - lo for lo, hi in self.rects[rank])
+
+    def size(self, rank: int) -> int:
+        """Number of elements owned by *rank*."""
+        return prod(self.shape(rank))
+
+    def slices(self, rank: int) -> tuple[slice, ...]:
+        """Global-array slices selecting *rank*'s rectangle."""
+        return tuple(slice(lo, hi) for lo, hi in self.rects[rank])
+
+    def owner_of(self, index: tuple[int, ...]) -> int:
+        """Rank owning a global index (first owner for replicated layouts)."""
+        if len(index) != self.ndim:
+            raise DistributionError(
+                f"index has {len(index)} dims, layout has {self.ndim}"
+            )
+        for rank, rect in enumerate(self.rects):
+            if all(lo <= i < hi for i, (lo, hi) in zip(index, rect)):
+                return rank
+        raise DistributionError(f"global index {index} owned by no rank")
+
+    def validate_tiling(self) -> None:
+        """Check that rectangles disjointly cover the global shape.
+
+        Raises :class:`DistributionError` on gaps or overlaps.  Skipped
+        for replicated layouts (which overlap by design).
+        """
+        if self.replicated:
+            return
+        total = sum(self.size(r) for r in range(self.nranks))
+        expected = prod(self.global_shape)
+        if total != expected:
+            raise DistributionError(
+                f"layout {self.name!r} covers {total} elements of {expected}"
+            )
+        # Pairwise disjointness: with the count matching, any overlap
+        # implies a gap, so the count check plus one overlap scan suffices.
+        for a in range(self.nranks):
+            ra = self.rects[a]
+            if self.size(a) == 0:
+                continue
+            for b in range(a + 1, self.nranks):
+                rb = self.rects[b]
+                if self.size(b) == 0:
+                    continue
+                if all(
+                    max(la, lb) < min(ha, hb)
+                    for (la, ha), (lb, hb) in zip(ra, rb)
+                ):
+                    raise DistributionError(
+                        f"layout {self.name!r}: ranks {a} and {b} overlap"
+                    )
+
+
+def _check_shape(global_shape: tuple[int, ...]) -> None:
+    if any(n < 0 for n in global_shape):
+        raise DistributionError(f"negative extent in global shape {global_shape}")
+
+
+def row_layout(global_shape: tuple[int, ...], nranks: int) -> Layout:
+    """Distribute axis 0 in blocks; all other axes whole on every rank."""
+    _check_shape(global_shape)
+    rects = []
+    for r in range(nranks):
+        lo, hi = block_bounds(global_shape[0], nranks, r)
+        rects.append(((lo, hi), *((0, n) for n in global_shape[1:])))
+    return Layout(tuple(global_shape), tuple(rects), name="rows")
+
+
+def col_layout(global_shape: tuple[int, ...], nranks: int) -> Layout:
+    """Distribute axis 1 in blocks; all other axes whole on every rank."""
+    _check_shape(global_shape)
+    if len(global_shape) < 2:
+        raise DistributionError("col_layout needs a >= 2-dimensional shape")
+    rects = []
+    for r in range(nranks):
+        lo, hi = block_bounds(global_shape[1], nranks, r)
+        rect = [(0, global_shape[0]), (lo, hi)]
+        rect.extend((0, n) for n in global_shape[2:])
+        rects.append(tuple(rect))
+    return Layout(tuple(global_shape), tuple(rects), name="cols")
+
+
+def block_layout(global_shape: tuple[int, ...], proc_grid: tuple[int, ...]) -> Layout:
+    """Distribute each axis ``d`` in blocks over ``proc_grid[d]`` parts.
+
+    Ranks map to process-grid coordinates in row-major order, matching
+    :class:`repro.comm.cart.CartGrid`.
+    """
+    _check_shape(global_shape)
+    if len(proc_grid) != len(global_shape):
+        raise DistributionError(
+            f"process grid {proc_grid} rank does not match shape {global_shape}"
+        )
+    if any(p < 1 for p in proc_grid):
+        raise DistributionError(f"process grid dims must be >= 1: {proc_grid}")
+    nranks = prod(proc_grid)
+    rects = []
+    for rank in range(nranks):
+        coords = []
+        rem = rank
+        for p in reversed(proc_grid):
+            coords.append(rem % p)
+            rem //= p
+        coords.reverse()
+        rects.append(
+            tuple(
+                block_bounds(n, p, c)
+                for n, p, c in zip(global_shape, proc_grid, coords)
+            )
+        )
+    return Layout(tuple(global_shape), tuple(rects), name=f"blocks{proc_grid}")
+
+
+def single_owner_layout(
+    global_shape: tuple[int, ...], nranks: int, owner: int = 0
+) -> Layout:
+    """All data on one rank; every other rank owns an empty rectangle."""
+    _check_shape(global_shape)
+    if not 0 <= owner < nranks:
+        raise DistributionError(f"owner {owner} out of range [0, {nranks})")
+    empty = tuple((0, 0) for _ in global_shape)
+    full = tuple((0, n) for n in global_shape)
+    rects = tuple(full if r == owner else empty for r in range(nranks))
+    return Layout(tuple(global_shape), rects, name=f"single_owner({owner})")
+
+
+def replicated_layout(global_shape: tuple[int, ...], nranks: int) -> Layout:
+    """Every rank holds the whole array (global variables, small tables)."""
+    _check_shape(global_shape)
+    full = tuple((0, n) for n in global_shape)
+    return Layout(
+        tuple(global_shape),
+        tuple(full for _ in range(nranks)),
+        name="replicated",
+        replicated=True,
+    )

@@ -1,0 +1,142 @@
+"""General data redistribution between layouts (paper §4.3, Figure 7).
+
+``redistribute(comm, local, old, new)`` moves a distributed array from one
+:class:`~repro.comm.layout.Layout` to another.  Every rank intersects its
+old rectangle with every rank's new rectangle, ships each non-empty
+intersection with a pairwise all-to-all, and pastes received pieces into
+its new local array.  Rows-to-columns redistribution (Figure 7), gathering
+to a single owner (file output), and scattering from one (file input) are
+all instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.comm.communicator import Comm
+from repro.comm.layout import Layout, Rect
+
+
+def _intersect(a: Rect, b: Rect) -> Rect | None:
+    """Intersection of two rectangles, or ``None`` when empty."""
+    out = []
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if lo >= hi:
+            return None
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def _local_slices(rect: Rect, base: Rect) -> tuple[slice, ...]:
+    """Slices selecting global rectangle *rect* inside a local array whose
+    origin is *base*'s low corner."""
+    return tuple(slice(lo - blo, hi - blo) for (lo, hi), (blo, _) in zip(rect, base))
+
+
+def redistribute(
+    comm: Comm,
+    local: np.ndarray,
+    old: Layout,
+    new: Layout,
+) -> np.ndarray:
+    """Return this rank's local section under layout *new*.
+
+    *local* must be this rank's section under layout *old* (shape
+    ``old.shape(comm.rank)``).  Both layouts must describe the same global
+    shape and the same number of ranks.  Works for any dimensionality.
+    """
+    if old.global_shape != new.global_shape:
+        raise DistributionError(
+            f"layout shapes differ: {old.global_shape} vs {new.global_shape}"
+        )
+    if old.nranks != comm.size or new.nranks != comm.size:
+        raise DistributionError(
+            f"layouts sized for {old.nranks}/{new.nranks} ranks on a "
+            f"{comm.size}-rank communicator"
+        )
+    local = np.asarray(local)
+    my_old = old.rect(comm.rank)
+    if local.shape != old.shape(comm.rank):
+        raise DistributionError(
+            f"rank {comm.rank}: local shape {local.shape} does not match "
+            f"old layout section {old.shape(comm.rank)}"
+        )
+
+    # Build one parcel per destination: list of (global_rect, block) pieces.
+    outgoing: list[list[tuple[Rect, np.ndarray]] | None] = []
+    for dest in range(comm.size):
+        overlap = _intersect(my_old, new.rect(dest))
+        if overlap is None:
+            outgoing.append(None)
+        else:
+            piece = np.ascontiguousarray(local[_local_slices(overlap, my_old)])
+            outgoing.append([(overlap, piece)])
+
+    incoming = comm.alltoall(outgoing)
+
+    my_new = new.rect(comm.rank)
+    out = np.empty(new.shape(comm.rank), dtype=local.dtype)
+    filled = 0
+    for parcel in incoming:
+        if parcel is None:
+            continue
+        for rect, piece in parcel:
+            out[_local_slices(rect, my_new)] = piece
+            filled += piece.size
+    if filled != out.size:
+        raise DistributionError(
+            f"rank {comm.rank}: redistribution filled {filled} of {out.size} "
+            "elements; source layout does not cover the target section"
+        )
+    return out
+
+
+def gather_to_root(
+    comm: Comm, local: np.ndarray, layout: Layout, root: int = 0
+) -> np.ndarray | None:
+    """Collect a distributed array onto *root* (returns ``None`` elsewhere).
+
+    Convenience wrapper: redistribution to a single-owner layout.  Used by
+    the archetypes' sequential file-output pattern.
+    """
+    from repro.comm.layout import single_owner_layout
+
+    target = single_owner_layout(layout.global_shape, comm.size, owner=root)
+    assembled = redistribute(comm, local, layout, target)
+    return assembled if comm.rank == root else None
+
+
+def scatter_from_root(
+    comm: Comm,
+    full: np.ndarray | None,
+    layout: Layout,
+    root: int = 0,
+    dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Distribute an array held on *root* according to *layout*.
+
+    Non-root ranks pass ``full=None``; ``dtype`` must then be supplied (or
+    it is broadcast from root).  Inverse of :func:`gather_to_root`.
+    """
+    from repro.comm.layout import single_owner_layout
+
+    if comm.rank == root:
+        if full is None:
+            raise DistributionError("root must supply the full array")
+        full = np.asarray(full)
+        if full.shape != layout.global_shape:
+            raise DistributionError(
+                f"full array shape {full.shape} does not match layout "
+                f"{layout.global_shape}"
+            )
+        dtype = full.dtype
+    dtype = comm.bcast(dtype, root=root)
+    source = single_owner_layout(layout.global_shape, comm.size, owner=root)
+    local = (
+        full
+        if comm.rank == root
+        else np.empty(tuple(0 for _ in layout.global_shape), dtype=dtype)
+    )
+    return redistribute(comm, local, source, layout)

@@ -1,0 +1,46 @@
+"""The archetypes: the paper's primary contribution.
+
+An *archetype* combines a computational pattern with a parallelization
+strategy, yielding a dataflow/communication structure (paper §1).  Two
+archetypes are provided, as in the paper:
+
+- :class:`~repro.core.onedeep.OneDeepDC` — one-deep divide and conquer
+  (§2): a single level of N-way split / solve / merge, with either phase
+  optionally degenerate;
+- :class:`~repro.core.meshspectral.MeshProgram` — mesh-spectral (§3):
+  computations over block-distributed N-dimensional grids built from grid
+  operations, row/column operations, reductions, and file I/O, with
+  enforced copy-consistency for global variables.
+
+The recursive :class:`~repro.core.traditional.TraditionalDC` baseline
+(paper Figure 1) is included for the Figure 6 comparison.
+
+Every archetype program can run in ``sequential`` mode (deterministic
+run-to-block scheduling — the paper's "execute the parallel structure
+sequentially and debug with familiar tools") or ``threads`` mode; for
+deterministic programs the two produce identical results, a property the
+test suite enforces.
+"""
+
+from repro.core.archetype import Archetype, ExecutionMode
+from repro.core.onedeep import OneDeepDC, PhaseSpec, SplitterStrategy
+from repro.core.traditional import TraditionalDC
+from repro.core.grid import DistGrid
+from repro.core.globals import GlobalVar
+from repro.core.meshspectral import MeshProgram
+from repro.core.branchbound import BnBProblem, BnBResult, BranchAndBound
+
+__all__ = [
+    "Archetype",
+    "ExecutionMode",
+    "OneDeepDC",
+    "PhaseSpec",
+    "SplitterStrategy",
+    "TraditionalDC",
+    "DistGrid",
+    "GlobalVar",
+    "MeshProgram",
+    "BnBProblem",
+    "BnBResult",
+    "BranchAndBound",
+]

@@ -1,0 +1,241 @@
+"""The branch-and-bound archetype — a *nondeterministic* archetype.
+
+Paper §6 (future work): "some problems are better suited to
+nondeterministic archetypes — for example branch and bound — so our
+library of archetypes should include such archetypes as well."
+
+Computational pattern: explore a tree of partial solutions, expanding a
+node into children (*branch*), pruning any child whose optimistic
+*bound* cannot beat the best complete solution found so far (the
+*incumbent*).  Parallelization strategy: a manager owns the global open
+list and the incumbent; workers repeatedly receive a node (plus the
+current incumbent), expand it locally for a bounded number of steps, and
+return the surviving frontier and any complete solutions.
+
+The nondeterminism is in the *dataflow*: which worker expands which node
+depends on scheduling, so traced message patterns and node counts vary
+between runs under the threaded backend.  The archetype still guarantees
+a deterministic *result* — the optimal value (and a canonical optimal
+solution under deterministic scheduling), which is what the tests pin
+down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ArchetypeError
+from repro.comm.communicator import Comm
+from repro.core.archetype import Archetype
+
+_TAG_TO_MANAGER = 401
+_TAG_TO_WORKER = 402
+
+
+@dataclass
+class BnBProblem:
+    """Application callbacks for a (minimising) branch-and-bound search.
+
+    Parameters
+    ----------
+    root:
+        ``root() -> node`` — the initial partial solution.
+    branch:
+        ``branch(node) -> children`` — expand a partial solution.  An
+        empty list means the node is a dead end.
+    bound:
+        ``bound(node) -> float`` — an optimistic (lower) bound on the
+        best complete solution reachable from *node*.  Must never exceed
+        the true value (admissibility), or optimality is lost.
+    is_complete:
+        ``is_complete(node) -> bool`` — is this a complete solution?
+    value:
+        ``value(node) -> float`` — objective of a complete solution.
+    branch_cost, bound_cost:
+        Optional analytic work models (flops) charged per call.
+    """
+
+    root: Callable[[], Any]
+    branch: Callable[[Any], Sequence[Any]]
+    bound: Callable[[Any], float]
+    is_complete: Callable[[Any], bool]
+    value: Callable[[Any], float]
+    branch_cost: float | None = None
+    bound_cost: float | None = None
+
+
+@dataclass
+class BnBResult:
+    """Outcome of a branch-and-bound run (identical on every rank)."""
+
+    #: objective of the optimal solution (+inf when none exists)
+    value: float
+    #: an optimal complete solution node (None when none exists)
+    solution: Any
+    #: total nodes expanded across all ranks
+    expanded: int
+
+
+class BranchAndBound(Archetype):
+    """Manager–worker branch and bound.
+
+    Rank 0 manages the global open list (a best-first priority queue) and
+    the incumbent; other ranks are workers.  ``chunk`` controls the
+    work-grain: a worker expands up to *chunk* nodes best-first before
+    reporting back, trading manager traffic against pruning quality
+    (workers prune against a possibly stale incumbent).
+
+    With one rank the search runs sequentially — the archetype's
+    "sequential execution" is simply the P=1 instantiation here, since a
+    nondeterministic archetype has no canonical interleaved sequential
+    form (paper §6).
+    """
+
+    name = "branch-and-bound"
+
+    def __init__(self, problem: BnBProblem, chunk: int = 16):
+        if chunk < 1:
+            raise ArchetypeError(f"chunk must be >= 1, got {chunk}")
+        self.problem = problem
+        self.chunk = chunk
+
+    # -- shared machinery -------------------------------------------------------
+    def _expand_once(
+        self,
+        comm: Comm,
+        node: Any,
+        incumbent: float,
+        counter: itertools.count,
+    ) -> tuple[list[tuple[float, int, Any]], list[tuple[float, Any]]]:
+        """Branch one node: returns surviving (bound, tiebreak, child)
+        frontier entries and (value, node) complete solutions."""
+        p = self.problem
+        if p.branch_cost is not None:
+            comm.charge(p.branch_cost, label="branch")
+        frontier: list[tuple[float, int, Any]] = []
+        solutions: list[tuple[float, Any]] = []
+        for child in p.branch(node):
+            if p.is_complete(child):
+                solutions.append((p.value(child), child))
+                continue
+            if p.bound_cost is not None:
+                comm.charge(p.bound_cost, label="bound")
+            b = p.bound(child)
+            if b < incumbent:
+                frontier.append((b, next(counter), child))
+        return frontier, solutions
+
+    def _local_search(
+        self, comm: Comm, node: Any, incumbent: float, counter: itertools.count
+    ) -> tuple[list[tuple[float, int, Any]], float, Any, int]:
+        """Best-first expansion of up to ``chunk`` nodes starting at *node*.
+
+        Returns (surviving frontier, best value found, best node found,
+        nodes expanded).
+        """
+        heap: list[tuple[float, int, Any]] = [(self.problem.bound(node), next(counter), node)]
+        best_value, best_node = float("inf"), None
+        expanded = 0
+        while heap and expanded < self.chunk:
+            bound, _, current = heapq.heappop(heap)
+            if bound >= min(incumbent, best_value):
+                continue
+            expanded += 1
+            frontier, solutions = self._expand_once(
+                comm, current, min(incumbent, best_value), counter
+            )
+            for value, solution in solutions:
+                if value < best_value:
+                    best_value, best_node = value, solution
+            for entry in frontier:
+                heapq.heappush(heap, entry)
+        survivors = [e for e in heap if e[0] < min(incumbent, best_value)]
+        return survivors, best_value, best_node, expanded
+
+    # -- roles -------------------------------------------------------------------
+    def _sequential(self, comm: Comm) -> BnBResult:
+        counter = itertools.count()
+        root = self.problem.root()
+        if self.problem.is_complete(root):
+            return BnBResult(self.problem.value(root), root, 0)
+        heap = [(self.problem.bound(root), next(counter), root)]
+        best_value, best_node = float("inf"), None
+        expanded = 0
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if bound >= best_value:
+                continue
+            expanded += 1
+            frontier, solutions = self._expand_once(comm, node, best_value, counter)
+            for value, solution in solutions:
+                if value < best_value:
+                    best_value, best_node = value, solution
+            for entry in frontier:
+                heapq.heappush(heap, entry)
+        return BnBResult(best_value, best_node, expanded)
+
+    def _manager(self, comm: Comm) -> BnBResult:
+        counter = itertools.count()
+        root = self.problem.root()
+        best_value, best_node = float("inf"), None
+        if self.problem.is_complete(root):
+            best_value, best_node = self.problem.value(root), root
+            heap: list[tuple[float, int, Any]] = []
+        else:
+            heap = [(self.problem.bound(root), next(counter), root)]
+        idle = set(range(1, comm.size))
+        busy: set[int] = set()
+        expanded_total = 0
+
+        def dispatch() -> None:
+            while idle and heap:
+                bound, _, node = heapq.heappop(heap)
+                if bound >= best_value:
+                    continue
+                worker = min(idle)
+                idle.discard(worker)
+                busy.add(worker)
+                comm.send(worker, ("work", node, best_value), tag=_TAG_TO_WORKER)
+
+        dispatch()
+        while busy:
+            msg = comm.recv_msg(tag=_TAG_TO_MANAGER)
+            worker = msg.source
+            survivors, value, solution, expanded = msg.payload
+            busy.discard(worker)
+            idle.add(worker)
+            expanded_total += expanded
+            if value < best_value:
+                best_value, best_node = value, solution
+            for bound, _, child in survivors:
+                if bound < best_value:
+                    heapq.heappush(heap, (bound, next(counter), child))
+            dispatch()
+        for worker in range(1, comm.size):
+            comm.send(worker, ("stop", None, None), tag=_TAG_TO_WORKER)
+        return BnBResult(best_value, best_node, expanded_total)
+
+    def _worker(self, comm: Comm) -> None:
+        counter = itertools.count()
+        while True:
+            kind, node, incumbent = comm.recv(source=0, tag=_TAG_TO_WORKER)
+            if kind == "stop":
+                return
+            result = self._local_search(comm, node, incumbent, counter)
+            comm.send(0, result, tag=_TAG_TO_MANAGER)
+
+    # -- entry -------------------------------------------------------------------
+    def body(self, comm: Comm) -> BnBResult:
+        if comm.size == 1:
+            return self._sequential(comm)
+        if comm.rank == 0:
+            result = self._manager(comm)
+        else:
+            self._worker(comm)
+            result = None
+        # Postcondition: every rank holds the result (like a reduction).
+        return comm.bcast(result, root=0)

@@ -1,0 +1,93 @@
+"""Global variables with copy consistency (paper §3.2).
+
+On a distributed-memory machine every rank keeps a duplicate copy of each
+"global" variable, and the archetype must guarantee the copies stay
+synchronised: a global may only change through operations that establish
+the same value on every rank (deterministic initialisation, broadcast,
+or the result of a reduction, whose postcondition is exactly that).
+
+:class:`GlobalVar` encodes the discipline: :meth:`set_from_reduction` and
+:meth:`set_from_root` perform the communication themselves, and bare
+assignment is funnelled through :meth:`assign`, which documents the
+caller's obligation.  :meth:`check_consistent` verifies the invariant at
+runtime (used in tests and debug runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ArchetypeError
+from repro.comm.communicator import Comm
+from repro.comm.reductions import MIN, Op
+
+
+def _fingerprint(value: Any) -> bytes:
+    """A deterministic digest of a global's value for consistency checks."""
+    h = hashlib.sha256()
+    if isinstance(value, np.ndarray):
+        h.update(str(value.dtype).encode())
+        h.update(str(value.shape).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    else:
+        h.update(repr(value).encode())
+    return h.digest()
+
+
+class GlobalVar:
+    """A per-rank copy of a logically global variable."""
+
+    def __init__(self, comm: Comm, value: Any = None, sync: bool = False):
+        """Create the variable; with ``sync=True`` the initial value is
+        broadcast from rank 0 so construction itself establishes
+        consistency (use when the initialiser is not deterministic)."""
+        self._comm = comm
+        self._value = comm.bcast(value, root=0) if sync else value
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        """Assign a value the caller guarantees is identical on all ranks
+        (e.g. a pure function of already-consistent globals)."""
+        self._value = value
+
+    def set_from_root(self, value: Any = None, root: int = 0) -> Any:
+        """Broadcast *value* from *root* into every copy; returns it."""
+        self._value = self._comm.bcast(value, root=root)
+        return self._value
+
+    def set_from_reduction(self, local: Any, op: Op) -> Any:
+        """Combine per-rank *local* contributions; every copy gets the
+        (rank-order canonical, hence identical) result."""
+        self._value = self._comm.allreduce(local, op)
+        return self._value
+
+    def check_consistent(self) -> None:
+        """Raise :class:`ArchetypeError` if copies have diverged.
+
+        Collective: all ranks must call it together.  Compares value
+        fingerprints with a MIN/MAX pair of reductions.
+        """
+        fp = _fingerprint(self._value)
+        lowest = self._comm.allreduce(fp, MIN)
+        if lowest != fp:
+            raise ArchetypeError(
+                f"global variable copies diverged on rank {self._comm.rank}"
+            )
+        # A second reduction direction catches divergence on the rank
+        # holding the minimum fingerprint as well.
+        from repro.comm.reductions import MAX
+
+        highest = self._comm.allreduce(fp, MAX)
+        if highest != fp:
+            raise ArchetypeError(
+                f"global variable copies diverged on rank {self._comm.rank}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalVar({self._value!r})"

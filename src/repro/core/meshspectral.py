@@ -1,0 +1,429 @@
+"""The mesh-spectral archetype (paper §3).
+
+A mesh-spectral program is a composition of the operation classes of
+§3.1 over distributed N-dimensional grids:
+
+- **grid operations** — the same pointwise (or stencil) update at every
+  point; when neighbouring points are read, the outputs must be disjoint
+  from the inputs (enforced here), and a ghost-boundary exchange precedes
+  the update;
+- **row / column operations** — independent per-row (per-column)
+  transforms, requiring by-rows (by-columns) distribution; composing
+  operations with different requirements forces a redistribution
+  (Figure 7), available as :meth:`MeshContext.redistribute`;
+- **reduction operations** — associative combinations of all grid values
+  with the postcondition that *all* ranks hold the result (recursive
+  doubling, Figure 8);
+- **file input/output** — modelled as gather-to-root / scatter-from-root
+  around sequential I/O.
+
+Programs are written against a :class:`MeshContext`; the
+:class:`MeshProgram` archetype runs them sequentially or SPMD.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ArchetypeError
+from repro.comm.communicator import Comm
+from repro.comm.reductions import MAX, MIN, SUM, Op
+from repro.core.archetype import Archetype
+from repro.core.globals import GlobalVar
+from repro.core.grid import DistGrid
+
+
+class StencilView:
+    """Shifted-neighbour access for stencil updates.
+
+    Indexing with an offset tuple returns the input array shifted by that
+    offset, aligned with the output region: ``u[-1, 0]`` is "the value one
+    row up from each updated point".  Offsets beyond the ghost width raise.
+    """
+
+    def __init__(self, grid: DistGrid, region: tuple[slice, ...]):
+        self._arr = grid.local
+        self._ghost = grid.ghost
+        # region is expressed in interior coordinates; shift to ghosted.
+        g = grid.ghost
+        self._region = tuple(
+            slice(s.start + g, s.stop + g) for s in region
+        )
+
+    def __getitem__(self, offsets: tuple[int, ...] | int) -> np.ndarray:
+        if isinstance(offsets, int):
+            offsets = (offsets,)
+        if len(offsets) != self._arr.ndim:
+            raise ArchetypeError(
+                f"stencil offset {offsets} does not match grid rank {self._arr.ndim}"
+            )
+        if any(abs(o) > self._ghost for o in offsets):
+            raise ArchetypeError(
+                f"stencil offset {offsets} exceeds ghost width {self._ghost}"
+            )
+        return self._arr[
+            tuple(slice(s.start + o, s.stop + o) for s, o in zip(self._region, offsets))
+        ]
+
+    @property
+    def center(self) -> np.ndarray:
+        """The unshifted view (offset all-zero)."""
+        return self._arr[self._region]
+
+
+class MeshContext:
+    """The operations a mesh-spectral program is written against."""
+
+    def __init__(self, comm: Comm):
+        self.comm = comm
+        #: per-rank working-set size (bytes) used by the machine's memory
+        #: model; set via :meth:`set_working_set`
+        self.working_set: float | None = None
+
+    def set_working_set(self, nbytes: float | None) -> None:
+        """Declare this rank's resident working-set size.
+
+        All subsequent compute charges pass it to the machine model,
+        which applies a paging penalty when it exceeds node memory —
+        the mechanism behind the paper's Figure 18 anomaly (the 5-node
+        base configuration paged; larger configurations did not).
+        """
+        self.working_set = nbytes
+
+    # -- data creation --------------------------------------------------------
+    def grid(
+        self,
+        global_shape: tuple[int, ...],
+        dist: str | tuple[int, ...] = "blocks",
+        ghost: int = 0,
+        dtype: Any = np.float64,
+        fill: float = 0.0,
+    ) -> DistGrid:
+        """Create a distributed grid (see :class:`DistGrid`)."""
+        return DistGrid(self.comm, global_shape, dist=dist, ghost=ghost, dtype=dtype, fill=fill)
+
+    def global_var(self, value: Any = None, sync: bool = False) -> GlobalVar:
+        """Create a copy-consistent global variable."""
+        return GlobalVar(self.comm, value, sync=sync)
+
+    # -- grid operations --------------------------------------------------------
+    def point_op(
+        self,
+        fn: Callable[..., None],
+        out: DistGrid,
+        *ins: DistGrid,
+        flops_per_point: float = 0.0,
+        label: str = "point_op",
+    ) -> None:
+        """Pointwise grid operation: ``fn(out_view, *in_views)``.
+
+        All views are aligned owned-interior views; *fn* must write its
+        result into ``out_view`` (e.g. ``out_view[...] = a + b``).  No
+        neighbour data is read, so no exchange happens and ``out`` may
+        alias an input.
+        """
+        self._check_compatible(out, ins)
+        views = [g.interior for g in ins]
+        if flops_per_point:
+            self.comm.charge(flops_per_point * out.interior.size, label=label, working_set_bytes=self.working_set)
+        fn(out.interior, *views)
+
+    def stencil_op(
+        self,
+        fn: Callable[..., None],
+        out: DistGrid,
+        *ins: DistGrid,
+        margin: int | tuple[int, ...] = 1,
+        periodic: tuple[bool, ...] | bool = False,
+        exchange: bool = True,
+        flops_per_point: float = 0.0,
+        label: str = "stencil_op",
+    ) -> None:
+        """Stencil grid operation: ``fn(out_view, *in_stencils)``.
+
+        Each input is wrapped in a :class:`StencilView`; the output view
+        covers the owned cells at least *margin* from the global edge
+        (Dirichlet-style boundaries stay untouched; pass ``margin=0`` with
+        ``periodic=True`` for fully periodic updates).  Per the paper's
+        §3.1 restriction, ``out`` must be disjoint from every input; this
+        is checked and violations raise :class:`ArchetypeError`.
+        """
+        self._check_compatible(out, ins)
+        for g in ins:
+            if g.local is out.local:
+                raise ArchetypeError(
+                    "grid operations reading neighbours require output "
+                    "disjoint from inputs (paper §3.1)"
+                )
+            if g.ghost < 1:
+                raise ArchetypeError(
+                    f"stencil input grid has ghost width {g.ghost}; need >= 1"
+                )
+        if exchange:
+            for g in ins:
+                g.exchange(periodic=periodic)
+        region = out.interior_intersection(margin)
+        out_view = out.interior[region]
+        stencils = [StencilView(g, region) for g in ins]
+        if flops_per_point:
+            self.comm.charge(flops_per_point * out_view.size, label=label, working_set_bytes=self.working_set)
+        fn(out_view, *stencils)
+
+    # -- row / column operations ---------------------------------------------------
+    def _require_whole_axis(self, grid: DistGrid, axis: int, what: str) -> None:
+        lo, hi = grid.rect[axis]
+        if (lo, hi) != (0, grid.global_shape[axis]):
+            raise ArchetypeError(
+                f"{what} requires data distributed so each rank holds whole "
+                f"extents along axis {axis}; redistribute first (the paper's "
+                "Figure 7 pattern) via MeshContext.redistribute"
+            )
+
+    def row_op(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray | None],
+        grid: DistGrid,
+        flops_per_row: float = 0.0,
+        label: str = "row_op",
+    ) -> None:
+        """Apply an independent transform to every row (axis-1 vectors).
+
+        Requires by-rows distribution (each rank owns whole rows).  *fn*
+        receives the local ``(nrows_local, ncols)`` block and either
+        mutates it in place (returning ``None``) or returns a same-shape
+        replacement.
+        """
+        self._require_whole_axis(grid, 1, "a row operation")
+        block = grid.interior
+        if flops_per_row:
+            self.comm.charge(flops_per_row * block.shape[0], label=label, working_set_bytes=self.working_set)
+        result = fn(block)
+        if result is not None:
+            block[...] = result
+
+    def col_op(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray | None],
+        grid: DistGrid,
+        flops_per_col: float = 0.0,
+        label: str = "col_op",
+    ) -> None:
+        """Apply an independent transform to every column (axis-0 vectors).
+
+        Requires by-columns distribution.  *fn* receives the local block
+        transposed to ``(ncols_local, nrows)`` so each *row* of its input
+        is one column vector, matching ``row_op``'s calling convention.
+        """
+        self._require_whole_axis(grid, 0, "a column operation")
+        block = grid.interior
+        if flops_per_col:
+            self.comm.charge(flops_per_col * block.shape[1], label=label, working_set_bytes=self.working_set)
+        result = fn(np.ascontiguousarray(block.T))
+        if result is None:
+            raise ArchetypeError(
+                "col_op callbacks receive a transposed copy and must return "
+                "the transformed block (in-place mutation would be lost)"
+            )
+        block[...] = result.T
+
+    def axis_op(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray],
+        grid: DistGrid,
+        axis: int,
+        flops_per_vector: float = 0.0,
+        label: str = "axis_op",
+    ) -> None:
+        """Apply an independent transform to every vector along *axis*.
+
+        The N-dimensional generalisation of row/column operations (paper
+        §3.1: "analogous operations can be defined on subsets of grids
+        with more than 2 dimensions").  Requires the grid distributed so
+        each rank holds whole extents along *axis*.  *fn* receives the
+        local block with *axis* moved last — each row of its input is one
+        vector — and must return the transformed block in that layout.
+        """
+        if not 0 <= axis < grid.ndim:
+            raise ArchetypeError(f"axis {axis} out of range for {grid.ndim}-D grid")
+        self._require_whole_axis(grid, axis, f"an axis-{axis} operation")
+        block = grid.interior
+        nvectors = block.size // max(block.shape[axis], 1)
+        if flops_per_vector:
+            self.comm.charge(
+                flops_per_vector * nvectors, label=label, working_set_bytes=self.working_set
+            )
+        moved = np.ascontiguousarray(np.moveaxis(block, axis, -1))
+        result = fn(moved)
+        if result is None or result.shape != moved.shape:
+            raise ArchetypeError(
+                "axis_op callbacks receive an axis-last copy and must return "
+                "a same-shaped transformed block"
+            )
+        block[...] = np.moveaxis(result, -1, axis)
+
+    def redistribute(self, grid: DistGrid, dist: str | tuple[int, ...]) -> DistGrid:
+        """Move a grid to a different distribution (paper Figure 7)."""
+        return grid.redistributed(dist)
+
+    # -- reductions -------------------------------------------------------------
+    def reduce(self, local: Any, op: Op) -> Any:
+        """Combine per-rank values; postcondition (paper §3.2): every rank
+        holds the identical result."""
+        return self.comm.allreduce(local, op)
+
+    def grid_reduce(
+        self,
+        grid: DistGrid,
+        local_fn: Callable[[np.ndarray], Any],
+        op: Op,
+        identity: Any = None,
+        flops_per_point: float = 1.0,
+        label: str = "reduce",
+    ) -> Any:
+        """Reduce over all grid points: ``local_fn`` reduces the owned
+        section, ``op`` combines across ranks.
+
+        ``identity`` is used for ranks owning zero points (possible when
+        P exceeds an axis extent).
+        """
+        section = grid.interior
+        if flops_per_point:
+            self.comm.charge(flops_per_point * section.size, label=label, working_set_bytes=self.working_set)
+        local = local_fn(section) if section.size else identity
+        if section.size == 0 and identity is None:
+            raise ArchetypeError(
+                "grid_reduce on an empty section needs an identity value"
+            )
+        return self.reduce(local, op)
+
+    def max_abs_diff(self, a: DistGrid, b: DistGrid) -> float:
+        """Convergence helper: global max |a - b| over owned interiors."""
+        self._check_compatible(a, (b,))
+        sec_a, sec_b = a.interior, b.interior
+        self.comm.charge(2.0 * sec_a.size, label="max_abs_diff", working_set_bytes=self.working_set)
+        local = float(np.max(np.abs(sec_a - sec_b))) if sec_a.size else float("-inf")
+        return self.reduce(local, MAX)
+
+    # -- file input/output ----------------------------------------------------------
+    def write_grid(self, grid: DistGrid, path: str | Path) -> None:
+        """Sequential file output: gather to rank 0, write one .npy file."""
+        full = grid.gather(root=0)
+        if self.comm.rank == 0:
+            np.save(Path(path), full)
+        self.comm.barrier()
+
+    def read_grid(
+        self,
+        path: str | Path,
+        dist: str | tuple[int, ...] = "blocks",
+        ghost: int = 0,
+    ) -> DistGrid:
+        """Sequential file input: rank 0 reads one .npy file, scatters it."""
+        full = np.load(Path(path)) if self.comm.rank == 0 else None
+        return DistGrid.from_global(self.comm, full, dist=dist, ghost=ghost)
+
+    def write_grid_partitioned(self, grid: DistGrid, directory: str | Path) -> None:
+        """Concurrent file output (paper §3.2's second I/O pattern):
+        every rank writes its own section file, plus a manifest.
+
+        No data redistribution is needed; actual disk concurrency is the
+        host filesystem's business, exactly as the paper notes.
+        """
+        directory = Path(directory)
+        if self.comm.rank == 0:
+            directory.mkdir(parents=True, exist_ok=True)
+            manifest = {
+                "global_shape": grid.global_shape,
+                "nranks": self.comm.size,
+                "rects": [grid.layout.rect(r) for r in range(self.comm.size)],
+            }
+            np.save(directory / "manifest.npy", np.array([manifest], dtype=object))
+        self.comm.barrier()  # manifest/directory exists before section writes
+        np.save(
+            directory / f"section{self.comm.rank:05d}.npy",
+            np.ascontiguousarray(grid.interior),
+        )
+        self.comm.barrier()
+
+    def read_grid_partitioned(
+        self,
+        directory: str | Path,
+        dist: str | tuple[int, ...] = "blocks",
+        ghost: int = 0,
+    ) -> DistGrid:
+        """Concurrent file input: each rank reads exactly the section
+        files intersecting its target rectangle.
+
+        The reading configuration is independent of the writing one —
+        any process count and distribution can read any partitioned
+        grid, because the manifest records each file's rectangle.
+        """
+        directory = Path(directory)
+        manifest = np.load(directory / "manifest.npy", allow_pickle=True)[0]
+        global_shape = tuple(manifest["global_shape"])
+        grid = DistGrid(self.comm, global_shape, dist=dist, ghost=ghost)
+        my = grid.rect
+        for stored_rank, rect in enumerate(manifest["rects"]):
+            overlap = []
+            empty = False
+            for (alo, ahi), (blo, bhi) in zip(my, rect):
+                lo, hi = max(alo, blo), min(ahi, bhi)
+                if lo >= hi:
+                    empty = True
+                    break
+                overlap.append((lo, hi))
+            if empty or any(hi - lo == 0 for lo, hi in rect):
+                continue
+            section = np.load(directory / f"section{stored_rank:05d}.npy")
+            src = tuple(
+                slice(lo - blo, hi - blo)
+                for (lo, hi), (blo, _) in zip(overlap, rect)
+            )
+            dst = tuple(
+                slice(lo - alo, hi - alo)
+                for (lo, hi), (alo, _) in zip(overlap, my)
+            )
+            grid.interior[dst] = section[src]
+        self.comm.barrier()
+        return grid
+
+    # -- misc -----------------------------------------------------------------------
+    def charge(self, flops: float, label: str = "") -> None:
+        """Charge extra analytic work to this rank's virtual clock."""
+        self.comm.charge(flops, label=label, working_set_bytes=self.working_set)
+
+    def _check_compatible(self, out: DistGrid, ins: tuple[DistGrid, ...]) -> None:
+        for g in ins:
+            if g.layout.rects != out.layout.rects:
+                raise ArchetypeError(
+                    "grids in one operation must share a distribution; "
+                    "redistribute first"
+                )
+
+
+class MeshProgram(Archetype):
+    """Archetype driver for mesh-spectral programs.
+
+    The user's *program* is a function ``program(mesh, *args, **kwargs)``
+    written against a :class:`MeshContext`.  ``MeshProgram(program).run(P)``
+    executes it on P ranks; running with ``mode="sequential"`` gives the
+    paper's debuggable sequential execution of the same code.
+    """
+
+    name = "mesh-spectral"
+
+    def __init__(self, program: Callable[..., Any]):
+        self.program = program
+
+    def body(self, comm: Comm, *args: Any, **kwargs: Any) -> Any:
+        return self.program(MeshContext(comm), *args, **kwargs)
+
+
+# Re-exported reduction ops so mesh programs rarely need repro.comm imports.
+MESH_SUM = SUM
+MESH_MAX = MAX
+MESH_MIN = MIN

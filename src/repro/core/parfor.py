@@ -1,0 +1,90 @@
+"""The paper's "version 1" notation: ``parfor`` / ``forall``.
+
+The initial archetype-based version of an algorithm (paper §1.2 step 3)
+is written with exploitable-concurrency constructs — CC++'s ``parfor``
+(Figure 4) or HPF's ``forall`` (Figures 10/13) — whose iterations must
+be independent.  Such a program "can be executed sequentially by
+replacing the parfor loops with for loops", and for deterministic
+programs gives the same result as parallel execution.
+
+This module makes that notation executable in one address space:
+
+- :func:`parfor` runs the iteration body over the index range in a
+  *deterministically shuffled* order.  Independence means order cannot
+  matter, so a program whose iterations secretly depend on each other
+  fails loudly when its results change — the shuffle is a built-in
+  independence check, not an optimisation.
+- :func:`forall` evaluates the element expression for every index
+  against a snapshot of the arrays it reads, then assigns — HPF's
+  "all right-hand sides before any left-hand side" semantics, which is
+  what makes ``forall`` safe for in-place array updates.
+
+The version-1 applications in :mod:`repro.apps.version1` are written
+with these constructs and tested for equality against both the plain
+sequential algorithms and the SPMD (version 2) archetype programs —
+the paper's semantics-preservation chain, end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ArchetypeError
+
+
+def _shuffled(n: int, seed: int) -> list[int]:
+    order = list(range(n))
+    rng = np.random.default_rng(seed)
+    rng.shuffle(order)
+    return order
+
+
+def parfor(
+    n: int,
+    body: Callable[[int], Any],
+    check_independence: bool = True,
+    seed: int = 0x5EED,
+) -> list[Any]:
+    """Execute ``body(i)`` for ``i in range(n)``; iterations must be
+    independent.
+
+    Returns the per-iteration results in index order.  With
+    ``check_independence`` (the default) the iterations run in a
+    deterministically shuffled order — any hidden inter-iteration
+    dependence changes the program's behaviour and is caught by the
+    version-equality tests rather than silently serialised.
+    """
+    if n < 0:
+        raise ArchetypeError(f"parfor needs a non-negative count, got {n}")
+    results: list[Any] = [None] * n
+    order = _shuffled(n, seed) if check_independence else range(n)
+    for i in order:
+        results[i] = body(i)
+    return results
+
+
+def forall(
+    out: np.ndarray,
+    indices: Iterable[tuple[int, ...]] | None,
+    expr: Callable[..., Any],
+    *reads: np.ndarray,
+) -> None:
+    """HPF-style ``forall``: evaluate *expr* for every index against a
+    snapshot of *reads*, then assign into *out*.
+
+    ``indices=None`` means every index of *out*.  ``expr`` receives the
+    index components followed by the snapshot arrays:
+    ``forall(u_new, None, lambda i, j, u: 0.5 * u[i, j], u)``.
+
+    Snapshotting gives the standard forall guarantee: the right-hand
+    side sees pre-update values even when *out* is among the inputs.
+    """
+    snapshots = tuple(np.array(r, copy=True) for r in reads)
+    if indices is None:
+        indices = np.ndindex(*out.shape)
+    updates = [(idx, expr(*idx, *snapshots)) for idx in indices]
+    for idx, value in updates:
+        out[idx] = value

@@ -1,0 +1,111 @@
+"""Traditional (deep) parallel divide and conquer — the paper's Figure 1.
+
+The baseline the one-deep archetype improves on: the problem starts whole
+on one rank, is recursively split in two with the second half shipped to
+an idle rank, solved at the leaves, and merged pairwise up the tree.  Its
+two inefficiencies (paper §2.1.1) emerge naturally here:
+
+1. the top-level split inspects *all* the data on a single rank and ships
+   half of it — heavy data transfer and single-node memory pressure;
+2. full concurrency exists only during the leaf solve phase; the split
+   and merge levels use progressively fewer ranks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ArchetypeError
+from repro.comm.communicator import Comm
+from repro.core.archetype import Archetype
+
+_TAG_DOWN = 101  # problem halves travelling down the tree
+_TAG_UP = 102  # subsolutions travelling back up
+
+
+class TraditionalDC(Archetype):
+    """Recursive parallel divide and conquer over the rank tree.
+
+    Parameters
+    ----------
+    divide:
+        ``divide(data) -> (left, right)`` — split a problem in two.
+    leaf_solve:
+        ``leaf_solve(data) -> solution`` — sequential solve at a leaf
+        (typically the sequential divide-and-conquer algorithm itself).
+    merge2:
+        ``merge2(a, b) -> solution`` — combine two subsolutions.
+    divide_cost, leaf_cost, merge_cost:
+        Optional analytic work models (flops) as functions of the data the
+        respective callback processes (for ``merge_cost``, of the merged
+        result).
+    """
+
+    name = "traditional-dc"
+
+    def __init__(
+        self,
+        divide: Callable[[Any], tuple[Any, Any]],
+        leaf_solve: Callable[[Any], Any],
+        merge2: Callable[[Any, Any], Any],
+        divide_cost: Callable[[Any], float] | None = None,
+        leaf_cost: Callable[[Any], float] | None = None,
+        merge_cost: Callable[[Any], float] | None = None,
+    ):
+        self.divide = divide
+        self.leaf_solve = leaf_solve
+        self.merge2 = merge2
+        self.divide_cost = divide_cost
+        self.leaf_cost = leaf_cost
+        self.merge_cost = merge_cost
+
+    def prepare(self, nprocs: int, problem: Any) -> tuple[tuple, dict]:
+        """The whole problem starts on rank 0 (the pattern's weakness)."""
+        return (problem,), {}
+
+    def body(self, comm: Comm, problem: Any) -> Any:
+        """Per-rank tree walk; the final solution lands on rank 0."""
+        lo, size = 0, comm.size
+        local: Any = problem if comm.rank == 0 else None
+        # Each descent records the action owed on the way back up:
+        # group leaders merge a right-subtree result received from `mid`;
+        # each `mid` sends its subtree's result back to its group leader.
+        pending: list[tuple[str, int]] = []
+
+        while size > 1:
+            left_size = (size + 1) // 2
+            mid = lo + left_size
+            if comm.rank < mid:
+                if comm.rank == lo:
+                    if self.divide_cost is not None:
+                        comm.charge(self.divide_cost(local), label="divide")
+                    left, right = self.divide(local)
+                    comm.send(mid, right, tag=_TAG_DOWN)
+                    local = left
+                    pending.append(("merge_from", mid))
+                size = left_size
+            else:
+                if comm.rank == mid:
+                    local = comm.recv(lo, tag=_TAG_DOWN)
+                    pending.append(("send_to", lo))
+                lo, size = mid, size - left_size
+
+        if local is None:
+            raise ArchetypeError(
+                f"rank {comm.rank} reached a leaf with no data; "
+                "tree routing is inconsistent"
+            )
+        if self.leaf_cost is not None:
+            comm.charge(self.leaf_cost(local), label="leaf-solve")
+        result = self.leaf_solve(local)
+
+        for action, peer in reversed(pending):
+            if action == "merge_from":
+                other = comm.recv(peer, tag=_TAG_UP)
+                result = self.merge2(result, other)
+                if self.merge_cost is not None:
+                    comm.charge(self.merge_cost(result), label="merge")
+            else:  # send_to
+                comm.send(peer, result, tag=_TAG_UP)
+        return result if comm.rank == 0 else None

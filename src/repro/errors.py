@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific exceptions derive from :class:`ReproError` so callers
+can catch everything this library raises with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CommError(ReproError):
+    """Invalid use of the communication library (bad rank, tag, size...)."""
+
+
+class DeadlockError(ReproError):
+    """The SPMD program reached a state where no rank can make progress.
+
+    Raised by the deterministic scheduler with a per-rank diagnostic of
+    what each blocked rank was waiting for.
+    """
+
+    def __init__(self, message: str, waiting: dict[int, str] | None = None):
+        super().__init__(message)
+        #: map of rank -> human-readable description of its blocked wait
+        self.waiting = dict(waiting or {})
+
+
+class RankFailedError(ReproError):
+    """A rank's body raised an exception; wraps the original failure."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class DistributionError(ReproError):
+    """A data distribution is invalid or incompatible with an operation."""
+
+
+class ArchetypeError(ReproError):
+    """An archetype program violates the archetype's computational pattern."""

@@ -1,0 +1,34 @@
+"""Performance models of message-passing multicomputers.
+
+The paper's measurements were taken on 1990s machines (Intel Delta, IBM SP,
+Intel Paragon, Cray T3D, Ethernet networks of Sun workstations).  We model
+each as a Hockney-style machine: per-message latency ``alpha``, per-byte
+transfer time ``beta``, per-flop compute time, and a simple node-memory
+model that captures paging penalties (needed for the paper's Figure 18,
+whose better-than-ideal small-P speedups the authors attribute to paging at
+the base processor count).
+"""
+
+from repro.machines.model import MachineModel
+from repro.machines.catalog import (
+    CRAY_T3D,
+    ETHERNET_SUNS,
+    IBM_SP,
+    IDEAL,
+    INTEL_DELTA,
+    INTEL_PARAGON,
+    get_machine,
+    list_machines,
+)
+
+__all__ = [
+    "MachineModel",
+    "IDEAL",
+    "INTEL_DELTA",
+    "INTEL_PARAGON",
+    "IBM_SP",
+    "CRAY_T3D",
+    "ETHERNET_SUNS",
+    "get_machine",
+    "list_machines",
+]

@@ -1,0 +1,106 @@
+"""Catalog of modelled machines.
+
+Parameters are calibrated against published measurements of the era's
+platforms (latency/bandwidth from vendor and benchmarking literature,
+achieved per-node flop rates from application reports, which are far below
+peak).  Exact values matter less than the *ratios*, which set the
+computation/communication balance that shapes the paper's speedup curves.
+
+====================  =========  ============  =================
+machine               latency    bandwidth     achieved Mflop/s
+====================  =========  ============  =================
+Intel Delta           ~75 us     ~12 MB/s      ~8  (i860, 40 MHz)
+Intel Paragon         ~100 us    ~70 MB/s      ~10 (i860XP)
+IBM SP (SP-1/SP-2)    ~50 us     ~35 MB/s      ~40 (POWER/POWER2)
+Cray T3D              ~3 us      ~120 MB/s     ~25 (Alpha 21064)
+Ethernet Sun network  ~1 ms      ~1 MB/s       ~10 (SuperSPARC)
+====================  =========  ============  =================
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.machines.model import MachineModel
+
+#: Idealised machine: communication is free and compute is one time unit
+#: per flop.  Used by semantics tests (results must not depend on costs)
+#: and as the "perfect speedup" reference.
+IDEAL = MachineModel(
+    name="ideal",
+    alpha=0.0,
+    beta=0.0,
+    flop_time=1.0,
+    mem_per_node=None,
+    notes="cost-free network; semantics testing and perfect-speedup reference",
+)
+
+INTEL_DELTA = MachineModel(
+    name="intel-delta",
+    alpha=75e-6,
+    beta=1.0 / 12e6,
+    flop_time=1.0 / 8e6,
+    mem_per_node=16 * 2**20,
+    max_nodes=512,
+    notes="Touchstone Delta: i860/40MHz nodes, 2-D mesh; Fig 6 and Fig 16 testbed",
+)
+
+INTEL_PARAGON = MachineModel(
+    name="intel-paragon",
+    alpha=100e-6,
+    beta=1.0 / 70e6,
+    flop_time=1.0 / 10e6,
+    mem_per_node=32 * 2**20,
+    max_nodes=2048,
+    notes="Paragon XP/S: i860XP nodes, higher bandwidth than Delta",
+)
+
+IBM_SP = MachineModel(
+    name="ibm-sp",
+    alpha=50e-6,
+    beta=1.0 / 35e6,
+    flop_time=1.0 / 40e6,
+    mem_per_node=128 * 2**20,
+    max_nodes=512,
+    congestion_per_node=0.02,
+    notes="IBM SP-1/SP-2: POWER nodes, multistage switch; Figs 12, 15, 17, 18 testbed",
+)
+
+CRAY_T3D = MachineModel(
+    name="cray-t3d",
+    alpha=3e-6,
+    beta=1.0 / 120e6,
+    flop_time=1.0 / 25e6,
+    mem_per_node=64 * 2**20,
+    max_nodes=2048,
+    notes="T3D: Alpha 21064 nodes, 3-D torus, very low latency",
+)
+
+ETHERNET_SUNS = MachineModel(
+    name="ethernet-suns",
+    alpha=1e-3,
+    beta=1.0 / 1e6,
+    flop_time=1.0 / 10e6,
+    mem_per_node=64 * 2**20,
+    max_nodes=64,
+    notes="network of Sun workstations on shared 10 Mb Ethernet",
+)
+
+_CATALOG: dict[str, MachineModel] = {
+    m.name: m
+    for m in (IDEAL, INTEL_DELTA, INTEL_PARAGON, IBM_SP, CRAY_T3D, ETHERNET_SUNS)
+}
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look up a machine model by name (as listed by :func:`list_machines`)."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown machine {name!r}; available: {', '.join(sorted(_CATALOG))}"
+        ) from None
+
+
+def list_machines() -> list[str]:
+    """Names of all catalogued machines."""
+    return sorted(_CATALOG)

@@ -1,0 +1,149 @@
+"""The machine performance model.
+
+A :class:`MachineModel` converts the *pattern* of an SPMD execution —
+messages sent and computational work performed — into virtual time on each
+rank's clock.  The model is deliberately simple (Hockney alpha-beta
+messages, linear flop cost, threshold paging penalty): the paper's claims
+concern speedup *shapes*, which depend on computation/communication ratios
+rather than on microarchitectural detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A distributed-memory message-passing machine.
+
+    Parameters
+    ----------
+    name:
+        Human-readable machine name.
+    alpha:
+        Per-message latency in seconds (software + network startup cost).
+    beta:
+        Per-byte transfer time in seconds (inverse bandwidth).
+    flop_time:
+        Seconds per (useful, achieved) floating-point operation.  This is
+        calibrated against *achieved* application rates of the era, not
+        peak rates.
+    mem_per_node:
+        Usable node memory in bytes.  Working sets larger than this incur
+        the paging penalty below.  ``None`` disables the memory model.
+    paging_factor:
+        Multiplier applied to compute time for the portion of the working
+        set that exceeds node memory.  Models the performance cliff that
+        the paper invokes to explain Figure 18's superlinear region.
+    max_nodes:
+        Largest configuration of the machine (informational; exceeded
+        configurations raise).
+    congestion_per_node:
+        Fractional slowdown of every message per participating node,
+        modelling interconnect contention: a message on a *P*-node
+        configuration costs ``(alpha + beta*n) * (1 + congestion_per_node
+        * max(P - 2, 0))``.  Captures the "computation-to-communication
+        ratio dropping too low" regime the paper reports for its
+        electromagnetics code beyond ~16 processors.
+    """
+
+    name: str
+    alpha: float
+    beta: float
+    flop_time: float
+    mem_per_node: float | None = None
+    paging_factor: float = 8.0
+    max_nodes: int = 4096
+    congestion_per_node: float = 0.0
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.flop_time < 0:
+            raise ReproError(f"machine {self.name!r} has negative cost parameters")
+        if self.paging_factor < 1.0:
+            raise ReproError("paging_factor must be >= 1")
+
+    #: receiver software overhead, as a fraction of alpha per message
+    RECV_ALPHA_FRACTION = 0.35
+    #: receiver copy cost, as a fraction of beta per byte
+    RECV_BETA_FRACTION = 0.25
+
+    # -- communication ---------------------------------------------------
+    def message_time(self, nbytes: int, nodes: int = 2) -> float:
+        """Sender-side time to move one *nbytes*-byte message between two
+        nodes of a *nodes*-node configuration (congestion scales with the
+        machine size)."""
+        if nbytes < 0:
+            raise ReproError(f"negative message size {nbytes}")
+        congestion = 1.0 + self.congestion_per_node * max(nodes - 2, 0)
+        return (self.alpha + self.beta * nbytes) * congestion
+
+    def recv_overhead(self, nbytes: int, nodes: int = 2) -> float:
+        """Receiver-side time to ingest one message.
+
+        Charged per message *after* the arrival synchronisation, so a
+        node receiving from many peers serialises their software
+        overheads — the hot-spot effect that makes gather-to-root
+        patterns slower than recursive doubling on real machines.
+        """
+        if nbytes < 0:
+            raise ReproError(f"negative message size {nbytes}")
+        congestion = 1.0 + self.congestion_per_node * max(nodes - 2, 0)
+        return (
+            self.RECV_ALPHA_FRACTION * self.alpha
+            + self.RECV_BETA_FRACTION * self.beta * nbytes
+        ) * congestion
+
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth in bytes/second (``inf`` when beta == 0)."""
+        return float("inf") if self.beta == 0 else 1.0 / self.beta
+
+    def half_performance_length(self) -> float:
+        """Hockney's n_1/2: message size reaching half asymptotic bandwidth."""
+        return float("inf") if self.beta == 0 else self.alpha / self.beta
+
+    # -- computation ------------------------------------------------------
+    def compute_time(self, flops: float, working_set_bytes: float | None = None) -> float:
+        """Time for *flops* useful floating-point operations on one node.
+
+        When the memory model is enabled and a working-set size is
+        provided, work on the overflowing fraction of the working set is
+        slowed by ``paging_factor``.
+        """
+        if flops < 0:
+            raise ReproError(f"negative flop count {flops}")
+        base = flops * self.flop_time
+        if (
+            self.mem_per_node is not None
+            and working_set_bytes is not None
+            and working_set_bytes > self.mem_per_node
+        ):
+            overflow_fraction = 1.0 - self.mem_per_node / working_set_bytes
+            base *= 1.0 + (self.paging_factor - 1.0) * overflow_fraction
+        return base
+
+    def flops_rate(self) -> float:
+        """Achieved flop rate in flop/s (``inf`` for an ideal machine)."""
+        return float("inf") if self.flop_time == 0 else 1.0 / self.flop_time
+
+    # -- derived ratios (useful for analysis and tests) -------------------
+    def comm_to_compute_ratio(self, nbytes_per_flop: float) -> float:
+        """Seconds of communication per second of computation at the given
+        traffic intensity (bytes transferred per flop executed)."""
+        if self.flop_time == 0:
+            return float("inf")
+        return (self.beta * nbytes_per_flop) / self.flop_time
+
+    def describe(self) -> str:
+        """One-line summary used by benchmark reports."""
+        bw = self.bandwidth()
+        bw_s = f"{bw / 1e6:.1f} MB/s" if bw != float("inf") else "infinite"
+        rate = self.flops_rate()
+        rate_s = f"{rate / 1e6:.1f} Mflop/s" if rate != float("inf") else "infinite"
+        return (
+            f"{self.name}: alpha={self.alpha * 1e6:.1f} us, bandwidth={bw_s}, "
+            f"achieved {rate_s}/node"
+        )

@@ -1,0 +1,36 @@
+"""The SPMD virtual machine.
+
+This package simulates a distributed-memory message-passing multicomputer
+inside one Python process: each *rank* runs the same program body in its
+own thread with a private mailbox, and a per-rank *virtual clock* accrues
+time according to a :class:`~repro.machines.MachineModel`.
+
+Two backends are provided:
+
+``deterministic`` (default)
+    Exactly one rank executes at a time; a scheduler always resumes the
+    lowest-numbered runnable rank.  Execution is fully reproducible and a
+    blocked cycle is reported as a :class:`~repro.errors.DeadlockError`
+    with per-rank diagnostics.  This realises the paper's "execute the
+    archetype program sequentially" debugging methodology.
+
+``threads``
+    All ranks run concurrently as OS threads with condition-variable
+    mailboxes.  Virtual clocks are computed from the same deterministic
+    quantities, so deterministic programs produce identical results and
+    identical virtual times under both backends (a property the test
+    suite checks).
+"""
+
+from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
+from repro.runtime.context import RankContext
+from repro.runtime.spmd import RunResult, spmd_run
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "RankContext",
+    "RunResult",
+    "spmd_run",
+]

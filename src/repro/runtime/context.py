@@ -1,0 +1,252 @@
+"""Per-rank execution context: point-to-point messaging and the virtual clock.
+
+A :class:`RankContext` is what each rank's program body receives.  It knows
+the rank/size, the machine model, and maintains the rank's virtual clock:
+
+- ``charge(flops)`` advances the clock by the machine's compute time;
+- ``send`` advances the sender's clock by the Hockney message cost
+  ``alpha + beta * nbytes`` and stamps the message with its arrival time;
+- ``recv`` advances the receiver's clock to at least the arrival time
+  (waiting in virtual time exactly when the message was not yet there).
+
+Clocks are pure functions of the communication pattern and the charged
+work, so deterministic programs report identical virtual times regardless
+of scheduling backend or host machine speed.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CommError
+from repro.machines.model import MachineModel
+from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
+from repro.runtime.scheduler import Backend
+from repro.trace.tracer import Tracer
+from repro.util.nbytes import nbytes_of
+
+
+def _copy_payload(payload: Any) -> Any:
+    """Deep-copy a message payload (send-by-value semantics).
+
+    Common cases are handled without the generic ``copy.deepcopy``
+    machinery: immutable scalars pass through, ndarrays are copied
+    contiguously, and containers recurse.
+    """
+    if payload is None or isinstance(
+        payload, (bool, int, float, complex, str, bytes, frozenset)
+    ):
+        return payload
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, np.generic):
+        return payload
+    if isinstance(payload, tuple):
+        return tuple(_copy_payload(item) for item in payload)
+    if isinstance(payload, list):
+        return [_copy_payload(item) for item in payload]
+    if isinstance(payload, dict):
+        return {k: _copy_payload(v) for k, v in payload.items()}
+    return copy.deepcopy(payload)
+
+
+@dataclass
+class _Endpoint:
+    """Per-rank state shared by every communicator view of the rank."""
+
+    clock: float = 0.0
+    send_seq: int = 0
+    next_ctx: int = field(default=1)
+
+
+class RankContext:
+    """One rank's view of the virtual machine (possibly a group view)."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        backend: Backend,
+        machine: MachineModel,
+        tracer: Tracer | None = None,
+    ):
+        #: this rank's id within this communicator, in ``[0, size)``
+        self.rank = rank
+        #: number of ranks in this communicator
+        self.size = size
+        self.machine = machine
+        self._backend = backend
+        self._tracer = tracer
+        # Endpoint state shared by every communicator view of this rank
+        # (sub-communicators created by split() alias the same node, so
+        # virtual time and send ordering are per-rank, not per-group).
+        self._endpoint = _Endpoint()
+        #: communication context id; messages only match within a context
+        self._ctx = 0
+        #: member global ranks, or None for the world communicator
+        self._group: list[int] | None = None
+
+    # -- group plumbing -------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Virtual time on this rank, in seconds (shared across groups)."""
+        return self._endpoint.clock
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self._endpoint.clock = value
+
+    @property
+    def global_rank(self) -> int:
+        """This rank's id in the world communicator."""
+        return self.rank if self._group is None else self._group[self.rank]
+
+    def _to_global(self, rank: int) -> int:
+        return rank if self._group is None else self._group[rank]
+
+    def _to_local(self, global_rank: int) -> int:
+        return global_rank if self._group is None else self._group.index(global_rank)
+
+    # -- queries -----------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RankContext rank={self.rank}/{self.size} t={self.clock:.6g}s>"
+
+    @property
+    def is_root(self) -> bool:
+        """True on rank 0 (the conventional master for degenerate phases)."""
+        return self.rank == 0
+
+    def check_peer(self, peer: int) -> None:
+        """Validate a peer rank id."""
+        if not 0 <= peer < self.size:
+            raise CommError(
+                f"rank {peer} out of range for a {self.size}-rank computation"
+            )
+
+    # -- compute accounting --------------------------------------------------
+    def charge(
+        self,
+        flops: float,
+        label: str = "",
+        working_set_bytes: float | None = None,
+    ) -> None:
+        """Account *flops* of useful work to this rank's virtual clock.
+
+        Applications call this with analytic work terms (e.g. ``n * log2(n)``
+        comparisons for a sort); the machine model converts work to time,
+        applying a paging penalty when ``working_set_bytes`` exceeds node
+        memory.
+        """
+        start = self.clock
+        self.clock += self.machine.compute_time(flops, working_set_bytes)
+        if self._tracer is not None:
+            self._tracer.compute(self.rank, flops, label, start, self.clock)
+
+    def advance(self, seconds: float) -> None:
+        """Advance the virtual clock by a raw time amount (rarely needed)."""
+        if seconds < 0:
+            raise CommError(f"cannot advance clock by negative time {seconds}")
+        self.clock += seconds
+
+    # -- point-to-point ------------------------------------------------------
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Send *payload* to rank *dest* with the given *tag*.
+
+        Buffered semantics: the call deposits the message and returns; the
+        sender's clock pays the full transfer cost (store-and-forward
+        model) and the message becomes visible to the receiver at the
+        sender's post-send clock.
+
+        The payload is copied at send time.  Ranks share one address
+        space here, but the modelled machine has distributed memory: a
+        sender mutating its buffer after the send must never affect the
+        receiver (nor may a receiver's mutation reach back).  NumPy views
+        are especially hazardous without this — a contiguous slab of a
+        local array "sent" by reference would deliver whatever the array
+        holds when the receiver is finally scheduled.
+        """
+        self.check_peer(dest)
+        if tag < 0:
+            raise CommError(f"tags must be >= 0 (got {tag}); negatives are wildcards")
+        payload = _copy_payload(payload)
+        nbytes = nbytes_of(payload)
+        start = self.clock
+        self.clock += self.machine.message_time(nbytes, nodes=self.size)
+        self._endpoint.send_seq += 1
+        msg = Message(
+            source=self.global_rank,
+            dest=self._to_global(dest),
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            arrival=self.clock,
+            seq=self._endpoint.send_seq,
+            ctx=self._ctx,
+        )
+        self._backend.deliver(msg)
+        if self._tracer is not None:
+            self._tracer.comm(
+                self.global_rank, "send", msg.dest, tag, nbytes, start, self.clock
+            )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Receive and return the payload of a matching message (blocking)."""
+        return self.recv_msg(source, tag).payload
+
+    def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        """Receive a matching message, returning the full envelope.
+
+        The returned envelope's ``source`` is expressed in this
+        communicator's (local) rank numbering.
+        """
+        if source != ANY_SOURCE:
+            self.check_peer(source)
+        start = self.clock
+        describe = (
+            f"recv(source={'ANY' if source == ANY_SOURCE else source}, "
+            f"tag={'ANY' if tag == ANY_TAG else tag}, ctx={self._ctx})"
+        )
+        global_source = source if source == ANY_SOURCE else self._to_global(source)
+        msg = self._backend.wait_for_match(
+            self.global_rank, global_source, tag, self._ctx, describe
+        )
+        self.clock = max(self.clock, msg.arrival)
+        self.clock += self.machine.recv_overhead(msg.nbytes, nodes=self.size)
+        if self._tracer is not None:
+            self._tracer.comm(
+                self.global_rank,
+                "recv",
+                msg.source,
+                msg.tag,
+                msg.nbytes,
+                start,
+                self.clock,
+            )
+        if self._group is not None:
+            msg = replace(msg, source=self._to_local(msg.source))
+        return msg
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True when a matching message is already waiting (non-blocking)."""
+        global_source = source if source == ANY_SOURCE else self._to_global(source)
+        return self._backend.mailboxes[self.global_rank].has_match(
+            global_source, tag, self._ctx
+        )
+
+    # -- exchange helper -------------------------------------------------------
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: int,
+        send_tag: int = 0,
+        recv_tag: int | None = None,
+    ) -> Any:
+        """Send to *dest* and receive from *source* (deadlock-free because
+        sends are buffered)."""
+        self.send(dest, payload, tag=send_tag)
+        return self.recv(source, tag=send_tag if recv_tag is None else recv_tag)

@@ -1,0 +1,53 @@
+"""Per-rank mailboxes with MPI-style (source, tag) matching.
+
+Matching returns the pending message with the earliest *virtual arrival
+time* (ties broken by source then per-source sequence number), which is
+what a receive on the modelled machine would see.  Same-source same-tag
+messages have monotonically increasing arrivals, so MPI's non-overtaking
+guarantee holds.  Synchronisation is the backend's job; the mailbox
+itself is a plain data structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.message import Message
+
+
+class Mailbox:
+    """Pending-message store for one rank."""
+
+    def __init__(self) -> None:
+        self._pending: deque[Message] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def put(self, msg: Message) -> None:
+        """Append a delivered message (delivery order == matching order)."""
+        self._pending.append(msg)
+
+    def has_match(self, source: int, tag: int, ctx: int = 0) -> bool:
+        """True when a pending message matches the (source, tag, ctx) pattern."""
+        return any(m.matches(source, tag, ctx) for m in self._pending)
+
+    def take_match(self, source: int, tag: int, ctx: int = 0) -> Message | None:
+        """Remove and return the earliest-*arriving* matching message
+        (virtual time; deterministic tie-break), or ``None``."""
+        best_i = -1
+        best_key: tuple[float, int, int] | None = None
+        for i, m in enumerate(self._pending):
+            if m.matches(source, tag, ctx):
+                key = (m.arrival, m.source, m.seq)
+                if best_key is None or key < best_key:
+                    best_i, best_key = i, key
+        if best_i < 0:
+            return None
+        msg = self._pending[best_i]
+        del self._pending[best_i]
+        return msg
+
+    def snapshot(self) -> list[Message]:
+        """Copy of the pending queue (diagnostics only)."""
+        return list(self._pending)

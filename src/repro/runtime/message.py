@@ -1,0 +1,43 @@
+"""Message envelope and matching wildcards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Wildcard: match a message from any source rank.
+ANY_SOURCE = -1
+#: Wildcard: match a message with any tag.
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """A message in flight or waiting in a mailbox.
+
+    ``arrival`` is the virtual time at which the message becomes visible
+    to the receiver (the sender's clock after paying the transfer cost).
+    ``seq`` is a per-sender sequence number preserving the non-overtaking
+    guarantee: two messages from the same source with the same tag are
+    received in send order.  ``ctx`` is the communication context of the
+    sending communicator: receives only match messages of their own
+    context, isolating sub-communicators (MPI-style groups) from the
+    world communicator and from each other even under wildcard receives.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float
+    seq: int = field(default=0)
+    ctx: int = field(default=0)
+
+    def matches(self, source: int, tag: int, ctx: int = 0) -> bool:
+        """Does this message satisfy a receive for (source, tag) in *ctx*?"""
+        return (
+            ctx == self.ctx
+            and (source == ANY_SOURCE or source == self.source)
+            and (tag == ANY_TAG or tag == self.tag)
+        )

@@ -1,0 +1,275 @@
+"""Backends: deterministic run-to-block scheduling and free-running threads.
+
+Both backends expose the same two operations to the communication layer:
+
+- ``deliver(msg)`` — place a message in the destination rank's mailbox and
+  wake anyone waiting for it;
+- ``wait_for_match(rank, source, tag, describe)`` — block the calling rank
+  until a matching message is available, then remove and return it.
+
+The deterministic backend runs exactly one rank at a time and always picks
+the lowest-numbered runnable rank, so executions are reproducible and a
+global block is detected immediately and reported as a
+:class:`~repro.errors.DeadlockError` naming what each rank was waiting for.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from enum import Enum
+
+from repro.errors import DeadlockError, RankFailedError
+from repro.runtime.mailbox import Mailbox
+from repro.runtime.message import Message
+
+
+class _Aborted(BaseException):
+    """Internal: unwind a rank thread after another rank failed.
+
+    Derives from BaseException so application-level ``except Exception``
+    handlers cannot swallow the unwind.
+    """
+
+
+class _Status(Enum):
+    READY = "ready"  # thread created, body not yet started
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Backend:
+    """Interface shared by the two scheduling backends."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.mailboxes = [Mailbox() for _ in range(nprocs)]
+        self._clock_of: Callable[[int], float] = lambda rank: 0.0
+
+    def set_clock_source(self, clock_of: Callable[[int], float]) -> None:
+        """Install the per-rank virtual-clock accessor (used by the
+        deterministic backend to schedule in virtual-time order)."""
+        self._clock_of = clock_of
+
+    def deliver(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def wait_for_match(
+        self, rank: int, source: int, tag: int, ctx: int, describe: str
+    ) -> Message:
+        raise NotImplementedError
+
+    def run(self, bodies: list[Callable[[], None]]) -> None:
+        """Execute one body per rank to completion; raise on failure."""
+        raise NotImplementedError
+
+
+class DeterministicBackend(Backend):
+    """Run-to-block scheduling: one rank at a time, lowest runnable first."""
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        self._status = [_Status.READY] * nprocs
+        self._predicate: list[Callable[[], bool] | None] = [None] * nprocs
+        self._describe = [""] * nprocs
+        self._resume = [threading.Event() for _ in range(nprocs)]
+        self._to_scheduler = threading.Event()
+        self._abort = False
+        self._failures: dict[int, BaseException] = {}
+
+    # -- transport --------------------------------------------------------
+    def deliver(self, msg: Message) -> None:
+        # Only the single running rank mutates mailboxes, so no locking.
+        self.mailboxes[msg.dest].put(msg)
+
+    def wait_for_match(
+        self, rank: int, source: int, tag: int, ctx: int, describe: str
+    ) -> Message:
+        mailbox = self.mailboxes[rank]
+        msg = mailbox.take_match(source, tag, ctx)
+        if msg is not None:
+            return msg
+        self._block(rank, lambda: mailbox.has_match(source, tag, ctx), describe)
+        msg = mailbox.take_match(source, tag, ctx)
+        assert msg is not None, "scheduler resumed rank without a matching message"
+        return msg
+
+    def _block(self, rank: int, predicate: Callable[[], bool], describe: str) -> None:
+        if self._abort:
+            raise _Aborted()
+        self._predicate[rank] = predicate
+        self._describe[rank] = describe
+        self._status[rank] = _Status.BLOCKED
+        self._to_scheduler.set()
+        self._resume[rank].wait()
+        self._resume[rank].clear()
+        if self._abort:
+            raise _Aborted()
+
+    # -- scheduling loop ---------------------------------------------------
+    def run(self, bodies: list[Callable[[], None]]) -> None:
+        threads = [
+            threading.Thread(
+                target=self._rank_main,
+                args=(rank, bodies[rank]),
+                name=f"repro-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.nprocs)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            while True:
+                nxt = self._pick_next()
+                if nxt is None:
+                    if all(s in (_Status.DONE, _Status.FAILED) for s in self._status):
+                        break
+                    if self._failures:
+                        break
+                    self._abort_all(threads)
+                    waiting = {
+                        r: self._describe[r]
+                        for r in range(self.nprocs)
+                        if self._status[r] == _Status.BLOCKED
+                    }
+                    detail = "; ".join(f"rank {r}: {d}" for r, d in waiting.items())
+                    raise DeadlockError(
+                        f"no rank can make progress ({detail})", waiting=waiting
+                    )
+                self._status[nxt] = _Status.RUNNING
+                self._to_scheduler.clear()
+                self._resume[nxt].set()
+                self._to_scheduler.wait()
+        finally:
+            if self._failures or any(s == _Status.BLOCKED for s in self._status):
+                self._abort_all(threads)
+            for t in threads:
+                t.join(timeout=10.0)
+        if self._failures:
+            rank = min(self._failures)
+            raise RankFailedError(rank, self._failures[rank]) from self._failures[rank]
+
+    def _pick_next(self) -> int | None:
+        """The runnable rank furthest behind in virtual time.
+
+        Scheduling in virtual-time order makes the backend a conservative
+        discrete-event simulation: wall-clock interleaving tracks the
+        modelled machine's timeline, so wildcard receives observe the
+        message population a real run would have had.  Ties break by
+        rank, keeping execution fully deterministic.
+        """
+        best: int | None = None
+        best_clock = 0.0
+        for rank in range(self.nprocs):
+            status = self._status[rank]
+            runnable = status == _Status.READY
+            if status == _Status.BLOCKED:
+                predicate = self._predicate[rank]
+                runnable = predicate is not None and predicate()
+            if runnable:
+                clock = self._clock_of(rank)
+                if best is None or clock < best_clock:
+                    best, best_clock = rank, clock
+        return best
+
+    def _rank_main(self, rank: int, body: Callable[[], None]) -> None:
+        self._resume[rank].wait()
+        self._resume[rank].clear()
+        try:
+            if not self._abort:
+                body()
+            self._status[rank] = _Status.DONE
+        except _Aborted:
+            self._status[rank] = _Status.DONE
+        except BaseException as exc:  # noqa: BLE001 - reported via RankFailedError
+            self._failures[rank] = exc
+            self._status[rank] = _Status.FAILED
+        finally:
+            self._to_scheduler.set()
+
+    def _abort_all(self, threads: list[threading.Thread]) -> None:
+        self._abort = True
+        for event in self._resume:
+            event.set()
+
+
+class ThreadedBackend(Backend):
+    """Free-running threads with condition-variable mailboxes.
+
+    ``deadlock_timeout`` bounds how long a receive may wait without any
+    message arriving for it before the run is declared deadlocked.
+    """
+
+    def __init__(self, nprocs: int, deadlock_timeout: float = 30.0):
+        super().__init__(nprocs)
+        self.deadlock_timeout = deadlock_timeout
+        self._locks = [threading.Lock() for _ in range(nprocs)]
+        self._conds = [threading.Condition(self._locks[i]) for i in range(nprocs)]
+        self._failed = threading.Event()
+        self._failures: dict[int, BaseException] = {}
+
+    def deliver(self, msg: Message) -> None:
+        cond = self._conds[msg.dest]
+        with cond:
+            self.mailboxes[msg.dest].put(msg)
+            cond.notify_all()
+
+    def wait_for_match(
+        self, rank: int, source: int, tag: int, ctx: int, describe: str
+    ) -> Message:
+        cond = self._conds[rank]
+        mailbox = self.mailboxes[rank]
+        with cond:
+            waited = 0.0
+            step = 0.1
+            while True:
+                msg = mailbox.take_match(source, tag, ctx)
+                if msg is not None:
+                    return msg
+                if self._failed.is_set():
+                    raise _Aborted()
+                if waited >= self.deadlock_timeout:
+                    raise DeadlockError(
+                        f"rank {rank} waited {waited:.1f}s for {describe}; "
+                        "presumed deadlock",
+                        waiting={rank: describe},
+                    )
+                cond.wait(step)
+                waited += step
+
+    def run(self, bodies: list[Callable[[], None]]) -> None:
+        threads = [
+            threading.Thread(
+                target=self._rank_main,
+                args=(rank, bodies[rank]),
+                name=f"repro-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if self._failures:
+            rank = min(self._failures)
+            exc = self._failures[rank]
+            if isinstance(exc, DeadlockError):
+                raise exc
+            raise RankFailedError(rank, exc) from exc
+
+    def _rank_main(self, rank: int, body: Callable[[], None]) -> None:
+        try:
+            body()
+        except _Aborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported via RankFailedError
+            self._failures[rank] = exc
+            self._failed.set()
+            # Wake every waiting rank so the run can unwind.
+            for cond in self._conds:
+                with cond:
+                    cond.notify_all()

@@ -1,0 +1,22 @@
+"""Execution tracing: per-rank event logs and their analysis.
+
+Every communication operation and charged compute region can be recorded
+as an event.  The analysis helpers summarise traffic volume, message
+counts, and time breakdowns — the quantities the archetype performance
+models of the paper's reference [32] are built from.
+"""
+
+from repro.trace.events import CommEvent, ComputeEvent, Event
+from repro.trace.tracer import Tracer
+from repro.trace.analysis import TraceSummary, phase_breakdown, render_gantt, summarize
+
+__all__ = [
+    "Event",
+    "CommEvent",
+    "ComputeEvent",
+    "Tracer",
+    "TraceSummary",
+    "summarize",
+    "phase_breakdown",
+    "render_gantt",
+]

@@ -1,0 +1,45 @@
+"""Event records emitted by the runtime when tracing is enabled."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something that happened on a rank at a virtual time."""
+
+    rank: int
+    #: virtual time at which the event began (seconds)
+    start: float
+    #: virtual time at which the event completed (seconds)
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CommEvent(Event):
+    """A point-to-point communication action.
+
+    ``kind`` is ``"send"`` or ``"recv"``; ``peer`` is the other rank;
+    ``nbytes`` the estimated payload size; ``tag`` the message tag.
+    For a ``recv``, ``start`` is when the rank began waiting and ``end``
+    when the message had been consumed, so ``duration`` includes idle
+    (wait) time.
+    """
+
+    kind: str = "send"
+    peer: int = -1
+    tag: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class ComputeEvent(Event):
+    """A charged compute region; ``flops`` is the useful work accounted."""
+
+    flops: float = 0.0
+    label: str = ""

@@ -1,0 +1,60 @@
+"""Event collection.
+
+A :class:`Tracer` owns one event list per rank.  The deterministic
+scheduler runs at most one rank at a time, so appends need no locking
+there; the concurrent backend appends only to the calling rank's own list,
+which is also safe (list.append is atomic and each list has one writer).
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import CommEvent, ComputeEvent, Event
+
+
+class Tracer:
+    """Collects events for an SPMD run of ``nprocs`` ranks."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.events: list[list[Event]] = [[] for _ in range(nprocs)]
+
+    def record(self, event: Event) -> None:
+        self.events[event.rank].append(event)
+
+    # Convenience constructors keep call sites in the runtime short.
+    def comm(
+        self,
+        rank: int,
+        kind: str,
+        peer: int,
+        tag: int,
+        nbytes: int,
+        start: float,
+        end: float,
+    ) -> None:
+        self.record(
+            CommEvent(
+                rank=rank,
+                start=start,
+                end=end,
+                kind=kind,
+                peer=peer,
+                tag=tag,
+                nbytes=nbytes,
+            )
+        )
+
+    def compute(self, rank: int, flops: float, label: str, start: float, end: float) -> None:
+        self.record(
+            ComputeEvent(rank=rank, start=start, end=end, flops=flops, label=label)
+        )
+
+    def events_for(self, rank: int) -> list[Event]:
+        return self.events[rank]
+
+    def all_events(self) -> list[Event]:
+        merged: list[Event] = []
+        for per_rank in self.events:
+            merged.extend(per_rank)
+        merged.sort(key=lambda e: (e.start, e.rank))
+        return merged

@@ -1,0 +1,19 @@
+"""Small shared utilities: block partitioning, sampling, payload sizing."""
+
+from repro.util.partition import (
+    block_bounds,
+    block_count,
+    block_owner,
+    block_slice,
+    split_evenly,
+)
+from repro.util.nbytes import nbytes_of
+
+__all__ = [
+    "block_bounds",
+    "block_count",
+    "block_owner",
+    "block_slice",
+    "split_evenly",
+    "nbytes_of",
+]

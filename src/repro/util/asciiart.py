@@ -1,0 +1,42 @@
+"""Terminal rendering of 2-D scalar fields.
+
+The paper's Figures 19-21 are grayscale field images (density, vorticity,
+azimuthal velocity); the examples regenerate the underlying data and
+render it as ASCII art so results are inspectable without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: luminance ramp from empty to full
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def render_field(
+    field: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+    ramp: str = DEFAULT_RAMP,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a 2-D array as ASCII art (rows = axis 0, columns = axis 1).
+
+    The field is resampled to (height, width) by nearest neighbour and
+    mapped linearly onto the character ramp.
+    """
+    arr = np.asarray(field, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"render_field needs a 2-D array, got shape {arr.shape}")
+    lo = float(np.nanmin(arr)) if vmin is None else vmin
+    hi = float(np.nanmax(arr)) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    rows = np.minimum((np.arange(height) * arr.shape[0]) // height, arr.shape[0] - 1)
+    cols = np.minimum((np.arange(width) * arr.shape[1]) // width, arr.shape[1] - 1)
+    sampled = arr[np.ix_(rows, cols)]
+    levels = np.clip((sampled - lo) / span * (len(ramp) - 1), 0, len(ramp) - 1)
+    chars = np.asarray(list(ramp))[levels.astype(int)]
+    body = "\n".join("".join(row) for row in chars)
+    return f"{body}\n[{lo:.3g} '{ramp[0]}' .. '{ramp[-1]}' {hi:.3g}]"

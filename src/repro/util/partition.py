@@ -1,0 +1,75 @@
+"""Block-distribution index arithmetic.
+
+The canonical block distribution of ``n`` items over ``p`` parts assigns
+part ``i`` the half-open range ``[i*n//p, (i+1)*n//p)``.  Parts differ in
+size by at most one element, earlier parts are never smaller than later
+ones by more than one, and the mapping is monotone — properties the tests
+and the redistribution code rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import DistributionError
+
+
+def block_bounds(n: int, p: int, i: int) -> tuple[int, int]:
+    """Return the half-open global index range ``(lo, hi)`` owned by part *i*.
+
+    Parameters
+    ----------
+    n : total number of items (>= 0)
+    p : number of parts (>= 1)
+    i : part index in ``[0, p)``
+    """
+    if p < 1:
+        raise DistributionError(f"number of parts must be >= 1, got {p}")
+    if n < 0:
+        raise DistributionError(f"item count must be >= 0, got {n}")
+    if not 0 <= i < p:
+        raise DistributionError(f"part index {i} out of range [0, {p})")
+    return (i * n) // p, ((i + 1) * n) // p
+
+
+def block_count(n: int, p: int, i: int) -> int:
+    """Return the number of items owned by part *i*."""
+    lo, hi = block_bounds(n, p, i)
+    return hi - lo
+
+
+def block_slice(n: int, p: int, i: int) -> slice:
+    """Return ``slice(lo, hi)`` for the range owned by part *i*."""
+    lo, hi = block_bounds(n, p, i)
+    return slice(lo, hi)
+
+
+def block_owner(n: int, p: int, index: int) -> int:
+    """Return the part that owns global index *index* under block layout.
+
+    Inverse of :func:`block_bounds`: ``block_owner(n, p, g)`` is the unique
+    ``i`` with ``block_bounds(n, p, i)[0] <= g < block_bounds(n, p, i)[1]``.
+    """
+    if not 0 <= index < n:
+        raise DistributionError(f"global index {index} out of range [0, {n})")
+    # Candidate from the continuous inverse; correct for rounding by at
+    # most one step in either direction.
+    i = min(p - 1, (index * p) // n)
+    lo, hi = block_bounds(n, p, i)
+    while index < lo:
+        i -= 1
+        lo, hi = block_bounds(n, p, i)
+    while index >= hi:
+        i += 1
+        lo, hi = block_bounds(n, p, i)
+    return i
+
+
+def split_evenly(seq: Sequence, p: int) -> list:
+    """Split *seq* into ``p`` contiguous blocks using the block layout.
+
+    Works for any sliceable sequence (lists, numpy arrays, ...).  Returned
+    blocks are views when the input supports view slicing.
+    """
+    n = len(seq)
+    return [seq[block_slice(n, p, i)] for i in range(p)]

@@ -1,0 +1,50 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import spmd_run
+from repro.machines.catalog import IDEAL
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["deterministic", "threads"])
+def backend(request) -> str:
+    """Run a test under both scheduling backends."""
+    return request.param
+
+
+def run_both_backends(nprocs, fn, args=(), machine=IDEAL, **kwargs):
+    """Run on both backends and assert identical per-rank results.
+
+    Returns the deterministic backend's RunResult.  Results are compared
+    with numpy-aware equality.
+    """
+    det = spmd_run(nprocs, fn, args=args, machine=machine, backend="deterministic", **kwargs)
+    thr = spmd_run(nprocs, fn, args=args, machine=machine, backend="threads", **kwargs)
+    for rank, (a, b) in enumerate(zip(det.values, thr.values)):
+        assert_equal_values(a, b, f"rank {rank} differs between backends")
+    assert det.times == thr.times, "virtual clocks differ between backends"
+    return det
+
+
+def assert_equal_values(a, b, msg=""):
+    """Deep equality that understands numpy arrays inside containers."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        assert np.array_equal(np.asarray(a), np.asarray(b)), msg
+    elif isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        assert len(a) == len(b), msg
+        for x, y in zip(a, b):
+            assert_equal_values(x, y, msg)
+    elif isinstance(a, dict) and isinstance(b, dict):
+        assert a.keys() == b.keys(), msg
+        for k in a:
+            assert_equal_values(a[k], b[k], msg)
+    else:
+        assert a == b, msg

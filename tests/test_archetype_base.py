@@ -1,0 +1,77 @@
+"""Archetype base driver."""
+
+import pytest
+
+from repro.core.archetype import Archetype, ExecutionMode
+from repro.errors import ArchetypeError
+
+
+class Doubler(Archetype):
+    name = "doubler"
+
+    def body(self, comm, x):
+        return x * 2 + comm.rank
+
+
+class Staged(Archetype):
+    name = "staged"
+
+    def prepare(self, nprocs, problem):
+        return ([problem] * nprocs,), {}
+
+    def body(self, comm, sections):
+        return sections[comm.rank]
+
+
+class TestExecutionMode:
+    def test_values(self):
+        assert ExecutionMode("sequential") is ExecutionMode.SEQUENTIAL
+        assert ExecutionMode("threads") is ExecutionMode.THREADS
+
+    def test_backend_mapping(self):
+        assert ExecutionMode.SEQUENTIAL.backend == "deterministic"
+        assert ExecutionMode.THREADS.backend == "threads"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ExecutionMode("mpi")
+
+
+class TestDriver:
+    def test_run_forwards_args(self):
+        res = Doubler().run(3, 10)
+        assert res.values == [20, 21, 22]
+
+    def test_mode_strings_accepted(self):
+        assert Doubler().run(2, 1, mode="threads").values == [2, 3]
+        assert Doubler().run(2, 1, mode="sequential").values == [2, 3]
+
+    def test_prepare_stages_input(self):
+        res = Staged().run(3, "payload")
+        assert res.values == ["payload"] * 3
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ArchetypeError):
+            Doubler().run(0, 1)
+
+    def test_body_must_be_overridden(self):
+        from repro.errors import RankFailedError
+
+        with pytest.raises(RankFailedError) as info:
+            Archetype().run(1)
+        assert isinstance(info.value.original, NotImplementedError)
+
+    def test_machine_forwarded(self):
+        from repro.machines.catalog import INTEL_DELTA
+
+        class Charger(Archetype):
+            def body(self, comm):
+                comm.charge(8e6)
+
+        res = Charger().run(1, machine=INTEL_DELTA)
+        assert res.times[0] == pytest.approx(1.0)
+        assert res.machine is INTEL_DELTA
+
+    def test_trace_forwarded(self):
+        res = Doubler().run(2, 1, trace=True)
+        assert res.tracer is not None

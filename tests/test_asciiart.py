@@ -1,0 +1,53 @@
+"""ASCII field rendering."""
+
+import numpy as np
+import pytest
+
+from repro.util.asciiart import DEFAULT_RAMP, render_field
+
+
+class TestRenderField:
+    def test_shape(self):
+        art = render_field(np.zeros((10, 10)), width=20, height=5)
+        lines = art.splitlines()
+        assert len(lines) == 6  # 5 rows + legend
+        assert all(len(line) == 20 for line in lines[:-1])
+
+    def test_constant_field(self):
+        art = render_field(np.full((4, 4), 3.0), width=8, height=2)
+        body = "".join(art.splitlines()[:-1])
+        assert set(body) == {DEFAULT_RAMP[0]}
+
+    def test_gradient_uses_full_ramp(self):
+        field = np.linspace(0, 1, 100).reshape(10, 10)
+        art = render_field(field, width=10, height=10)
+        body = "".join(art.splitlines()[:-1])
+        assert DEFAULT_RAMP[0] in body and DEFAULT_RAMP[-1] in body
+
+    def test_explicit_range(self):
+        art = render_field(np.full((2, 2), 0.5), vmin=0.0, vmax=1.0, width=4, height=2)
+        body = "".join(art.splitlines()[:-1])
+        mid = DEFAULT_RAMP[len(DEFAULT_RAMP) // 2]
+        assert set(body) <= set(DEFAULT_RAMP)
+        assert body[0] in DEFAULT_RAMP[3:7]
+        del mid
+
+    def test_legend_shows_bounds(self):
+        art = render_field(np.array([[1.0, 5.0]]))
+        assert "1" in art.splitlines()[-1]
+        assert "5" in art.splitlines()[-1]
+
+    def test_custom_ramp(self):
+        art = render_field(np.array([[0.0, 1.0]]), ramp="ab", width=2, height=1)
+        assert art.splitlines()[0] == "ab"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_field(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_field(np.zeros((2, 2, 2)))
+
+    def test_downsamples_large_fields(self):
+        art = render_field(np.random.default_rng(0).normal(size=(500, 700)))
+        lines = art.splitlines()
+        assert len(lines[0]) == 72

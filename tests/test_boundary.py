@@ -1,0 +1,236 @@
+"""Ghost-boundary exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import spmd_run
+from repro.errors import DistributionError, RankFailedError
+from repro.comm import CartGrid, block_layout, exchange_ghosts
+from repro.comm.boundary import (
+    add_ghosts,
+    exchange_ghosts_many,
+    interior,
+    strip_ghosts,
+)
+
+
+def _ghosted_sections(comm, full, grid_dims, ghost, fill=-1.0):
+    lay = block_layout(full.shape, grid_dims)
+    section = full[lay.slices(comm.rank)].copy()
+    return lay, add_ghosts(section, ghost, fill=fill)
+
+
+class TestHelpers:
+    def test_add_strip_roundtrip(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        padded = add_ghosts(arr, 2, fill=0.0)
+        assert padded.shape == (7, 8)
+        assert np.array_equal(strip_ghosts(padded, 2), arr)
+
+    def test_interior_slices(self):
+        arr = np.zeros((5, 6))
+        assert interior(arr, 1) == (slice(1, 4), slice(1, 5))
+
+    def test_negative_ghost(self):
+        with pytest.raises(DistributionError):
+            add_ghosts(np.zeros((2, 2)), -1)
+
+
+class TestExchange2D:
+    @pytest.mark.parametrize("dims", [(1, 1), (2, 1), (1, 3), (2, 2), (3, 2)])
+    def test_ghosts_match_neighbours(self, dims):
+        full = np.arange(8.0 * 12).reshape(8, 12)
+        p = dims[0] * dims[1]
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, dims, ghost=1)
+            exchange_ghosts(comm, local, CartGrid(dims), ghost=1)
+            (r0, r1), (c0, c1) = lay.rect(comm.rank)
+            # every interior-facing ghost must equal the global array
+            if r0 > 0:
+                assert np.array_equal(local[0, 1:-1], full[r0 - 1, c0:c1])
+            if r1 < 8:
+                assert np.array_equal(local[-1, 1:-1], full[r1, c0:c1])
+            if c0 > 0:
+                assert np.array_equal(local[1:-1, 0], full[r0:r1, c0 - 1])
+            if c1 < 12:
+                assert np.array_equal(local[1:-1, -1], full[r0:r1, c1])
+            # owned data untouched
+            assert np.array_equal(strip_ghosts(local, 1), full[r0:r1, c0:c1])
+            return True
+
+        assert all(spmd_run(p, body).values)
+
+    def test_corners_filled(self):
+        """Diagonal-neighbour data reaches corner ghosts (two-hop rule)."""
+        full = np.arange(6.0 * 6).reshape(6, 6)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (2, 2), ghost=1)
+            exchange_ghosts(comm, local, CartGrid((2, 2)), ghost=1)
+            (r0, _), (c0, _) = lay.rect(comm.rank)
+            if r0 > 0 and c0 > 0:
+                assert local[0, 0] == full[r0 - 1, c0 - 1]
+            return True
+
+        assert all(spmd_run(4, body).values)
+
+    def test_periodic_wraps(self):
+        full = np.arange(4.0 * 4).reshape(4, 4)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (2, 1), ghost=1)
+            exchange_ghosts(comm, local, CartGrid((2, 1)), ghost=1, periodic=(True, False))
+            (r0, r1), _ = lay.rect(comm.rank)
+            expected_above = full[(r0 - 1) % 4, :]
+            assert np.array_equal(local[0, 1:-1], expected_above)
+            return True
+
+        assert all(spmd_run(2, body).values)
+
+    def test_nonperiodic_edges_untouched(self):
+        full = np.ones((4, 4))
+
+        def body(comm):
+            _, local = _ghosted_sections(comm, full, (2, 1), ghost=1, fill=-7.0)
+            exchange_ghosts(comm, local, CartGrid((2, 1)), ghost=1)
+            lay = block_layout(full.shape, (2, 1))
+            (r0, r1), _ = lay.rect(comm.rank)
+            if r0 == 0:
+                assert np.all(local[0, :] == -7.0)
+            if r1 == 4:
+                assert np.all(local[-1, :] == -7.0)
+            return True
+
+        assert all(spmd_run(2, body).values)
+
+    def test_ghost_width_two(self):
+        full = np.arange(10.0 * 4).reshape(10, 4)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (2, 1), ghost=2)
+            exchange_ghosts(comm, local, CartGrid((2, 1)), ghost=2)
+            (r0, r1), _ = lay.rect(comm.rank)
+            if r0 > 0:
+                assert np.array_equal(local[0:2, 2:-2], full[r0 - 2 : r0, :])
+            return True
+
+        assert all(spmd_run(2, body).values)
+
+    @given(
+        rows=st.integers(4, 10),
+        cols=st.integers(4, 10),
+        px=st.integers(1, 3),
+        py=st.integers(1, 2),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_interior_preserved(self, rows, cols, px, py):
+        if rows < 2 * px or cols < 2 * py:
+            return  # sections too thin for ghost width 1
+        full = np.arange(float(rows * cols)).reshape(rows, cols)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (px, py), ghost=1)
+            exchange_ghosts(comm, local, CartGrid((px, py)), ghost=1)
+            return np.array_equal(strip_ghosts(local, 1), full[lay.slices(comm.rank)])
+
+        assert all(spmd_run(px * py, body).values)
+
+
+class TestExchange3D:
+    def test_3d_faces(self):
+        full = np.arange(4.0 * 4 * 4).reshape(4, 4, 4)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (2, 2, 1), ghost=1)
+            exchange_ghosts(comm, local, CartGrid((2, 2, 1)), ghost=1)
+            (a0, a1), (b0, b1), (c0, c1) = lay.rect(comm.rank)
+            if a0 > 0:
+                assert np.array_equal(local[0, 1:-1, 1:-1], full[a0 - 1, b0:b1, c0:c1])
+            return np.array_equal(strip_ghosts(local, 1), full[lay.slices(comm.rank)])
+
+        assert all(spmd_run(4, body).values)
+
+
+class TestExchangeMany:
+    def test_matches_individual_exchanges(self):
+        full_a = np.arange(6.0 * 6).reshape(6, 6)
+        full_b = full_a * 10
+
+        def body(comm):
+            lay, la = _ghosted_sections(comm, full_a, (2, 1), ghost=1)
+            _, lb = _ghosted_sections(comm, full_b, (2, 1), ghost=1)
+            la2, lb2 = la.copy(), lb.copy()
+            cart = CartGrid((2, 1))
+            exchange_ghosts_many(comm, [la, lb], cart, ghost=1)
+            exchange_ghosts(comm, la2, cart, ghost=1)
+            exchange_ghosts(comm, lb2, cart, ghost=1)
+            return np.array_equal(la, la2) and np.array_equal(lb, lb2)
+
+        assert all(spmd_run(2, body).values)
+
+    def test_fewer_messages_than_individual(self):
+        """Packing is the point: one message per neighbour per direction."""
+        from repro.trace.analysis import summarize
+
+        full = np.arange(8.0 * 4).reshape(8, 4)
+
+        def packed(comm):
+            _, la = _ghosted_sections(comm, full, (2, 1), ghost=1)
+            _, lb = _ghosted_sections(comm, full, (2, 1), ghost=1)
+            exchange_ghosts_many(comm, [la, lb], CartGrid((2, 1)), ghost=1)
+
+        def unpacked(comm):
+            _, la = _ghosted_sections(comm, full, (2, 1), ghost=1)
+            _, lb = _ghosted_sections(comm, full, (2, 1), ghost=1)
+            exchange_ghosts(comm, la, CartGrid((2, 1)), ghost=1)
+            exchange_ghosts(comm, lb, CartGrid((2, 1)), ghost=1)
+
+        a = spmd_run(2, packed, trace=True)
+        b = spmd_run(2, unpacked, trace=True)
+        assert summarize(a.tracer).total_messages < summarize(b.tracer).total_messages
+
+    def test_shape_mismatch_rejected(self):
+        def body(comm):
+            exchange_ghosts_many(
+                comm, [np.zeros((4, 4)), np.zeros((5, 4))], CartGrid((comm.size, 1))
+            )
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(2, body)
+        assert isinstance(info.value.original, DistributionError)
+
+
+class TestExchangeErrors:
+    def test_zero_ghost_rejected(self):
+        def body(comm):
+            exchange_ghosts(comm, np.zeros((4, 4)), CartGrid((comm.size, 1)), ghost=0)
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(2, body)
+        assert isinstance(info.value.original, DistributionError)
+
+    def test_grid_size_mismatch(self):
+        def body(comm):
+            exchange_ghosts(comm, np.zeros((4, 4)), CartGrid((3, 1)), ghost=1)
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(2, body)
+        assert isinstance(info.value.original, DistributionError)
+
+    def test_too_small_local_array(self):
+        def body(comm):
+            exchange_ghosts(comm, np.zeros((1, 4)), CartGrid((comm.size, 1)), ghost=1)
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(2, body)
+        assert isinstance(info.value.original, DistributionError)
+
+    def test_dim_mismatch(self):
+        def body(comm):
+            exchange_ghosts(comm, np.zeros((4,)), CartGrid((comm.size, 1)), ghost=1)
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(2, body)
+        assert isinstance(info.value.original, DistributionError)

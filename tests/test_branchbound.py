@@ -1,0 +1,165 @@
+"""Branch-and-bound archetype and the knapsack application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branchbound import BnBProblem, BnBResult, BranchAndBound
+from repro.errors import ArchetypeError
+from repro.apps.knapsack import (
+    KnapsackInstance,
+    dp_reference,
+    fractional_bound,
+    knapsack_bnb,
+    random_instance,
+)
+
+
+def interval_problem(depth: int, target: int) -> BnBProblem:
+    """Toy search: find the integer *target* in [0, 2^depth) by interval
+    bisection; value of a leaf n is |n - target| and the bound of an
+    interval is its minimum achievable |n - target|."""
+
+    def root():
+        return (0, 2**depth)
+
+    def is_complete(node):
+        lo, hi = node
+        return hi - lo == 1
+
+    def branch(node):
+        lo, hi = node
+        mid = (lo + hi) // 2
+        return [(lo, mid), (mid, hi)]
+
+    def bound(node):
+        lo, hi = node
+        if lo <= target < hi:
+            return 0.0
+        return float(min(abs(lo - target), abs(hi - 1 - target)))
+
+    return BnBProblem(
+        root=root,
+        branch=branch,
+        bound=bound,
+        is_complete=is_complete,
+        value=lambda node: float(abs(node[0] - target)),
+    )
+
+
+class TestArchetypeMechanics:
+    def test_invalid_chunk(self):
+        with pytest.raises(ArchetypeError):
+            BranchAndBound(interval_problem(3, 1), chunk=0)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_finds_target(self, p):
+        arch = BranchAndBound(interval_problem(6, 37), chunk=4)
+        res = arch.run(p)
+        for v in res.values:
+            assert isinstance(v, BnBResult)
+            assert v.value == 0.0
+            assert v.solution == (37, 38)
+
+    def test_result_on_every_rank(self):
+        res = BranchAndBound(interval_problem(5, 9)).run(4)
+        assert len({v.value for v in res.values}) == 1
+        assert all(v.solution == res.values[0].solution for v in res.values)
+
+    def test_pruning_reduces_expansion(self):
+        """Best-first with an exact bound expands only the target path."""
+        res = BranchAndBound(interval_problem(10, 512), chunk=1).run(1)
+        # depth-10 bisection: ~10 expansions on the exact-bound path, far
+        # fewer than the 2^10 leaves.
+        assert res.values[0].expanded <= 25
+
+    def test_root_already_complete(self):
+        problem = interval_problem(0, 0)  # root (0,1) is a leaf
+        for p in (1, 3):
+            res = BranchAndBound(problem).run(p)
+            assert res.values[0].value == 0.0
+
+    def test_infeasible_search(self):
+        """A search whose every branch dead-ends reports +inf."""
+        problem = BnBProblem(
+            root=lambda: 3,
+            branch=lambda n: [n - 1] if n > 0 else [],
+            bound=lambda n: 0.0,
+            is_complete=lambda n: False,
+            value=lambda n: 0.0,
+        )
+        for p in (1, 2):
+            res = BranchAndBound(problem).run(p)
+            assert res.values[0].value == float("inf")
+            assert res.values[0].solution is None
+
+    def test_work_charged(self):
+        from repro.machines.model import MachineModel
+
+        toy = MachineModel("toy", alpha=1e-5, beta=0, flop_time=1e-6)
+        problem = interval_problem(6, 3)
+        problem.branch_cost = 100.0
+        res = BranchAndBound(problem).run(1, machine=toy)
+        assert res.times[0] > 0
+
+
+class TestKnapsack:
+    def test_instance_validation(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            KnapsackInstance.create([1], [1, 2], 5)
+        with pytest.raises(ReproError):
+            KnapsackInstance.create([1], [0], 5)
+        with pytest.raises(ReproError):
+            KnapsackInstance.create([-1], [1], 5)
+
+    def test_density_ordering(self):
+        inst = KnapsackInstance.create([10, 100], [10, 10], 10)
+        assert inst.values[0] == 100.0
+
+    def test_fractional_bound_admissible(self):
+        inst = random_instance(12, seed=5)
+        root = (0, inst.capacity, 0.0, ())
+        assert -fractional_bound(inst, root) >= dp_reference(inst) - 1e-9
+
+    def test_dp_reference_known_case(self):
+        inst = KnapsackInstance.create([60, 100, 120], [10, 20, 30], 50)
+        assert dp_reference(inst) == 220.0
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_matches_dp(self, p):
+        inst = random_instance(16, seed=2)
+        res = knapsack_bnb(inst).run(p)
+        assert -res.values[0].value == pytest.approx(dp_reference(inst))
+
+    @given(n=st.integers(4, 14), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_dp(self, n, seed):
+        inst = random_instance(n, seed=seed)
+        res = knapsack_bnb(inst, chunk=8).run(3)
+        assert -res.values[0].value == pytest.approx(dp_reference(inst))
+
+    def test_solution_is_feasible_and_optimal(self):
+        inst = random_instance(14, seed=9)
+        res = knapsack_bnb(inst).run(2)
+        best = res.values[0]
+        chosen = best.solution[3]
+        weight = sum(inst.weights[i] for i in chosen)
+        value = sum(inst.values[i] for i in chosen)
+        assert weight <= inst.capacity + 1e-9
+        assert value == pytest.approx(-best.value)
+
+    def test_nondeterministic_schedule_same_optimum(self):
+        """The archetype's guarantee: exploration may differ, the optimum
+        may not."""
+        inst = random_instance(18, seed=4)
+        seq = knapsack_bnb(inst).run(4, mode="sequential")
+        thr = knapsack_bnb(inst).run(4, mode="threads")
+        assert seq.values[0].value == thr.values[0].value
+
+    def test_chunk_tradeoff_runs(self):
+        inst = random_instance(15, seed=6)
+        small = knapsack_bnb(inst, chunk=1).run(3).values[0]
+        large = knapsack_bnb(inst, chunk=64).run(3).values[0]
+        assert small.value == large.value

@@ -1,0 +1,105 @@
+"""Cartesian process grids."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DistributionError
+from repro.comm.cart import CartGrid, choose_proc_grid
+
+
+class TestCartGrid:
+    def test_coords_row_major(self):
+        g = CartGrid((2, 3))
+        assert [g.coords(r) for r in range(6)] == [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+        ]
+
+    @given(
+        dims=st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 4)),
+        data=st.data(),
+    )
+    def test_roundtrip(self, dims, data):
+        g = CartGrid(dims)
+        rank = data.draw(st.integers(0, g.nranks - 1))
+        assert g.rank_of(g.coords(rank)) == rank
+
+    def test_shift_interior(self):
+        g = CartGrid((3, 3))
+        centre = g.rank_of((1, 1))
+        assert g.shift(centre, 0, -1) == g.rank_of((0, 1))
+        assert g.shift(centre, 1, +1) == g.rank_of((1, 2))
+
+    def test_shift_off_edge(self):
+        g = CartGrid((3, 3))
+        corner = g.rank_of((0, 0))
+        assert g.shift(corner, 0, -1) is None
+        assert g.shift(corner, 1, -1) is None
+
+    def test_shift_periodic(self):
+        g = CartGrid((3, 2))
+        corner = g.rank_of((0, 0))
+        assert g.shift(corner, 0, -1, periodic=True) == g.rank_of((2, 0))
+        assert g.shift(corner, 1, -1, periodic=True) == g.rank_of((0, 1))
+
+    def test_invalid_dims(self):
+        with pytest.raises(DistributionError):
+            CartGrid((0, 2))
+        with pytest.raises(DistributionError):
+            CartGrid(())
+
+    def test_bad_rank(self):
+        with pytest.raises(DistributionError):
+            CartGrid((2, 2)).coords(4)
+
+    def test_bad_coords(self):
+        with pytest.raises(DistributionError):
+            CartGrid((2, 2)).rank_of((2, 0))
+
+    def test_bad_axis(self):
+        with pytest.raises(DistributionError):
+            CartGrid((2, 2)).shift(0, 2, 1)
+
+
+class TestChooseProcGrid:
+    @pytest.mark.parametrize(
+        "p,ndim,expected",
+        [
+            (4, 2, (2, 2)),
+            (8, 3, (2, 2, 2)),
+            (12, 2, (4, 3)),
+            (1, 2, (1, 1)),
+            (7, 2, (7, 1)),
+            (100, 2, (10, 10)),
+        ],
+    )
+    def test_known_factorisations(self, p, ndim, expected):
+        assert choose_proc_grid(p, ndim) == expected
+
+    @given(p=st.integers(1, 512), ndim=st.integers(1, 4))
+    def test_product_is_p(self, p, ndim):
+        dims = choose_proc_grid(p, ndim)
+        assert len(dims) == ndim
+        assert math.prod(dims) == p
+        assert tuple(sorted(dims, reverse=True)) == dims
+
+    @given(p=st.integers(1, 256))
+    def test_near_square_2d(self, p):
+        a, b = choose_proc_grid(p, 2)
+        # No dimension pairing can be more balanced for this p.
+        best = min(
+            max(d, p // d) for d in range(1, int(math.isqrt(p)) + 1) if p % d == 0
+        )
+        assert max(a, b) == best
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            choose_proc_grid(0, 2)
+        with pytest.raises(DistributionError):
+            choose_proc_grid(4, 0)

@@ -1,0 +1,144 @@
+"""2-D compressible-flow code (paper §4.5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cfd import (
+    GAMMA,
+    cfd_archetype,
+    sequential_cfd_time,
+    shock_interface_ic,
+    uniform_flow_ic,
+)
+from repro.machines.catalog import INTEL_DELTA
+
+
+class TestInitialConditions:
+    def test_shock_states_physical(self):
+        ii, jj = np.ix_(np.arange(32), np.arange(32))
+        rho, mx, my, e = shock_interface_ic(ii, jj, 32, 32, mach=2.0)
+        assert np.all(rho > 0)
+        p = (GAMMA - 1.0) * (e - 0.5 * (mx**2 + my**2) / rho)
+        assert np.all(p > 0)
+
+    def test_rankine_hugoniot_jump(self):
+        """Post-shock density for Mach 2 in a gamma=1.4 gas is ~2.667."""
+        ii, jj = np.ix_(np.arange(64), np.arange(64))
+        rho, _, _, _ = shock_interface_ic(ii, jj, 64, 64, mach=2.0)
+        assert rho[0, 0] == pytest.approx((2.4 * 4) / (0.4 * 4 + 2))
+
+    def test_smooth_state(self):
+        ii, jj = np.ix_(np.arange(16), np.arange(16))
+        rho, _, _, e = uniform_flow_ic(ii, jj, 16, 16)
+        assert np.all(rho > 0.5)
+        assert np.all(e > 0)
+
+
+class TestSolver:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_p_invariance_shock(self, p):
+        ref = cfd_archetype().run(1, 24, 20, 8, ic="shock").values[0]
+        res = cfd_archetype().run(p, 24, 20, 8, ic="shock").values[0]
+        assert np.array_equal(res.density, ref.density)
+        assert res.time == ref.time
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_p_invariance_smooth(self, p):
+        ref = cfd_archetype().run(1, 16, 16, 6, ic="smooth").values[0]
+        res = cfd_archetype().run(p, 16, 16, 6, ic="smooth").values[0]
+        assert np.array_equal(res.density, ref.density)
+
+    def test_packed_equals_unpacked(self):
+        a = cfd_archetype().run(4, 20, 20, 6, ic="shock", packed_exchange=True).values[0]
+        b = cfd_archetype().run(4, 20, 20, 6, ic="shock", packed_exchange=False).values[0]
+        assert np.array_equal(a.density, b.density)
+
+    def test_mass_conserved_periodic(self):
+        """Lax-Friedrichs on a periodic domain conserves total mass."""
+        res0 = cfd_archetype().run(2, 16, 16, 0, ic="smooth").values[0]
+        res = cfd_archetype().run(2, 16, 16, 12, ic="smooth").values[0]
+        assert res.density.sum() == pytest.approx(res0.density.sum(), rel=1e-12)
+
+    def test_density_stays_positive(self):
+        res = cfd_archetype().run(4, 32, 24, 15, ic="shock").values[0]
+        assert np.all(res.density > 0)
+        assert np.all(np.isfinite(res.density))
+
+    def test_pressure_positive(self):
+        res = cfd_archetype().run(2, 24, 24, 10, ic="shock").values[0]
+        assert np.all(res.pressure > 0)
+
+    def test_shock_propagates_right(self):
+        """The pressure front must move toward larger x over time."""
+        early = cfd_archetype().run(2, 64, 16, 2, ic="shock").values[0]
+        late = cfd_archetype().run(2, 64, 16, 40, ic="shock").values[0]
+        assert late.time > early.time
+
+        def pressure_front(result):
+            # first x index where the mean pressure drops below 1.5
+            return int(np.argmin(result.pressure.mean(axis=1) > 1.5))
+
+        assert pressure_front(late) > pressure_front(early)
+
+    def test_cfl_interval(self):
+        a = cfd_archetype().run(2, 16, 16, 6, ic="smooth", cfl_interval=1).values[0]
+        b = cfd_archetype().run(2, 16, 16, 6, ic="smooth", cfl_interval=3).values[0]
+        # Different dt schedules, but both runs remain stable and finite.
+        assert np.isfinite(a.density).all() and np.isfinite(b.density).all()
+
+    def test_gather_false(self):
+        res = cfd_archetype().run(2, 16, 16, 3, ic="smooth", gather=False).values[0]
+        assert res.density is None and res.pressure is None
+
+
+class TestPerformance:
+    def test_sequential_time_model(self):
+        assert sequential_cfd_time(128, 128, 10, INTEL_DELTA) > 0
+
+    def test_scales_on_delta(self):
+        arch = cfd_archetype()
+        t1 = arch.run(
+            1, 64, 64, 3, ic="smooth", machine=INTEL_DELTA, gather=False
+        ).elapsed
+        t16 = arch.run(
+            16, 64, 64, 3, ic="smooth", machine=INTEL_DELTA, gather=False
+        ).elapsed
+        assert t16 < t1 / 6
+
+
+class TestReactiveVariant:
+    """The paper's second CFD code (Figure 20): shock/interface with
+    ideal-dissociating-gas chemistry."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_p_invariance(self, p):
+        ref = cfd_archetype().run(1, 24, 20, 10, ic="shock", reactive=True).values[0]
+        res = cfd_archetype().run(p, 24, 20, 10, ic="shock", reactive=True).values[0]
+        assert np.array_equal(res.density, ref.density)
+        assert np.array_equal(res.progress, ref.progress)
+
+    def test_dissociation_behind_shock_only(self):
+        res = cfd_archetype().run(2, 64, 16, 30, ic="shock", reactive=True).values[0]
+        lam = res.progress
+        assert lam is not None
+        # hot post-shock gas (left) dissociates...
+        assert lam[:8, :].mean() > 0.05
+        # ...while the cold far field stays essentially undissociated.
+        assert lam[-8:, :].mean() < 5e-3
+        assert np.all((lam >= 0) & (lam <= 1 + 1e-12))
+
+    def test_dissociation_absorbs_energy(self):
+        inert = cfd_archetype().run(2, 32, 16, 20, ic="shock").values[0]
+        react = cfd_archetype().run(2, 32, 16, 20, ic="shock", reactive=True).values[0]
+        # Endothermic chemistry: the reactive run's pressure behind the
+        # shock is lower than the inert run's.
+        assert react.pressure[:6, :].mean() < inert.pressure[:6, :].mean()
+
+    def test_nonreactive_has_no_progress_field(self):
+        res = cfd_archetype().run(2, 16, 16, 3, ic="smooth").values[0]
+        assert res.progress is None
+
+    def test_stable_and_positive(self):
+        res = cfd_archetype().run(4, 32, 24, 25, ic="shock", reactive=True).values[0]
+        assert np.all(res.density > 0)
+        assert np.all(np.isfinite(res.pressure))

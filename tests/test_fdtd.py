@@ -1,0 +1,60 @@
+"""3-D FDTD electromagnetics (paper §4.5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import fdtd_archetype, sequential_fdtd_time
+from repro.machines.catalog import IBM_SP
+
+
+class TestSolver:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 8])
+    def test_p_invariance(self, p):
+        ref = fdtd_archetype().run(1, 12, 10, 8, steps=6).values[0]
+        res = fdtd_archetype().run(p, 12, 10, 8, steps=6).values[0]
+        assert np.array_equal(res.ez, ref.ez)
+        assert res.energy == pytest.approx(ref.energy, rel=1e-12)
+
+    def test_energy_identical_on_all_ranks(self):
+        res = fdtd_archetype().run(4, 10, 10, 10, steps=4)
+        assert len({v.energy for v in res.values}) == 1
+
+    def test_source_radiates(self):
+        res = fdtd_archetype().run(2, 16, 16, 16, steps=10).values[0]
+        assert res.energy > 0
+        # The field has spread beyond the source cell.
+        nonzero = np.count_nonzero(np.abs(res.ez) > 1e-12)
+        assert nonzero > 10
+
+    def test_no_source_no_field(self):
+        res = fdtd_archetype().run(2, 8, 8, 8, steps=5, source_freq=0.0).values[0]
+        assert res.energy == pytest.approx(0.0)
+        assert np.allclose(res.ez, 0.0)
+
+    def test_stable_at_courant_limit(self):
+        res = fdtd_archetype().run(2, 12, 12, 12, steps=40, courant=0.5).values[0]
+        assert np.isfinite(res.energy)
+        assert res.energy < 1e6  # no blow-up
+
+    def test_causality(self):
+        """After few steps the field cannot have reached the far corner."""
+        n = 20
+        res = fdtd_archetype().run(1, n, n, n, steps=3).values[0]
+        assert abs(res.ez[0, 0, 0]) < 1e-14
+
+    def test_gather_false(self):
+        res = fdtd_archetype().run(2, 8, 8, 8, steps=2, gather=False).values[0]
+        assert res.ez is None
+        assert res.energy >= 0
+
+
+class TestPerformance:
+    def test_sequential_time_model(self):
+        assert sequential_fdtd_time(32, 32, 32, 10, IBM_SP) > 0
+
+    def test_more_exchanges_with_more_ranks(self):
+        from repro.trace.analysis import summarize
+
+        a = summarize(fdtd_archetype().run(2, 12, 12, 12, steps=2, trace=True).tracer)
+        b = summarize(fdtd_archetype().run(8, 12, 12, 12, steps=2, trace=True).tracer)
+        assert b.total_messages > a.total_messages

@@ -1,0 +1,77 @@
+"""Distributed two-dimensional FFT (paper §4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft2d import (
+    fft2d_archetype,
+    run_fft2d,
+    sequential_fft2d_time,
+)
+from repro.machines.catalog import IBM_SP
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_numpy(self, p, rng):
+        arr = rng.normal(size=(16, 24)) + 1j * rng.normal(size=(16, 24))
+        res = fft2d_archetype().run(p, arr, 1)
+        assert np.allclose(res.values[0], np.fft.fft2(arr), atol=1e-8)
+
+    def test_real_input_promoted(self, rng):
+        arr = rng.normal(size=(8, 8))
+        res = fft2d_archetype().run(2, arr, 1)
+        assert np.allclose(res.values[0], np.fft.fft2(arr), atol=1e-9)
+
+    def test_inverse(self, rng):
+        arr = rng.normal(size=(8, 16)) + 1j * rng.normal(size=(8, 16))
+        fwd = fft2d_archetype().run(4, arr, 1).values[0]
+        back = fft2d_archetype().run(4, fwd, 1, inverse=True).values[0]
+        assert np.allclose(back, arr, atol=1e-10)
+
+    def test_repeats(self, rng):
+        arr = rng.normal(size=(8, 8)).astype(complex)
+        twice = fft2d_archetype().run(2, arr, 2).values[0]
+        assert np.allclose(twice, np.fft.fft2(np.fft.fft2(arr)), atol=1e-7)
+
+    def test_nonsquare_odd_sizes(self, rng):
+        arr = rng.normal(size=(6, 10)).astype(complex)
+        res = fft2d_archetype().run(3, arr, 1)
+        assert np.allclose(res.values[0], np.fft.fft2(arr), atol=1e-8)
+
+    def test_result_only_on_root(self, rng):
+        arr = rng.normal(size=(8, 8)).astype(complex)
+        res = fft2d_archetype().run(4, arr, 1)
+        assert all(v is None for v in res.values[1:])
+
+    def test_run_helper(self, rng):
+        arr = rng.normal(size=(8, 8)).astype(complex)
+        res = run_fft2d(2, arr, machine=IBM_SP)
+        assert np.allclose(res.values[0], np.fft.fft2(arr), atol=1e-9)
+        assert res.elapsed > 0
+
+
+class TestPerformanceShape:
+    def test_sequential_time_scales(self):
+        assert sequential_fft2d_time((256, 256), 1, IBM_SP) > sequential_fft2d_time(
+            (64, 64), 1, IBM_SP
+        )
+
+    def test_communication_dominates_at_scale(self, rng):
+        """The paper's Figure 12 caption: too small a ratio of computation
+        to communication.  At 16+ ranks on a small grid the redistribution
+        cost eats the gains."""
+        from repro.trace.analysis import summarize
+
+        arr = rng.normal(size=(32, 32)).astype(complex)
+        res = fft2d_archetype().run(16, arr, 1, machine=IBM_SP, trace=True)
+        s = summarize(res.tracer)
+        assert s.comm_fraction() > 0.5
+
+    def test_more_ranks_more_messages(self, rng):
+        from repro.trace.analysis import summarize
+
+        arr = rng.normal(size=(16, 16)).astype(complex)
+        m2 = summarize(fft2d_archetype().run(2, arr, 1, trace=True).tracer)
+        m8 = summarize(fft2d_archetype().run(8, arr, 1, trace=True).tracer)
+        assert m8.total_messages > m2.total_messages

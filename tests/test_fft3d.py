@@ -1,0 +1,102 @@
+"""Distributed 3-D FFT and the general axis operation."""
+
+import numpy as np
+import pytest
+
+from repro.core import MeshProgram
+from repro.errors import ArchetypeError, RankFailedError
+from repro.apps.fft3d import fft3d_archetype, run_fft3d, sequential_fft3d_time
+from repro.machines.catalog import IBM_SP
+
+
+class TestAxisOp:
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_cumsum_along_each_axis(self, axis):
+        full = np.arange(2.0 * 3 * 4).reshape(2, 3, 4)
+
+        def prog(mesh):
+            from repro.core.grid import DistGrid
+
+            dist = tuple(
+                mesh.comm.size if d == (axis + 1) % 3 else 1 for d in range(3)
+            )
+            g = DistGrid.from_global(
+                mesh.comm, full if mesh.comm.rank == 0 else None, dist=dist
+            )
+            mesh.axis_op(lambda block: np.cumsum(block, axis=-1), g, axis=axis)
+            return g.gather(root=0)
+
+        res = MeshProgram(prog).run(2, mode="sequential")
+        assert np.array_equal(res.values[0], np.cumsum(full, axis=axis))
+
+    def test_requires_whole_axis(self):
+        def prog(mesh):
+            g = mesh.grid((4, 4, 4), dist=(mesh.comm.size, 1, 1))
+            mesh.axis_op(lambda b: b, g, axis=0)
+
+        with pytest.raises(RankFailedError) as info:
+            MeshProgram(prog).run(2)
+        assert isinstance(info.value.original, ArchetypeError)
+
+    def test_axis_out_of_range(self):
+        def prog(mesh):
+            g = mesh.grid((4, 4))
+            mesh.axis_op(lambda b: b, g, axis=5)
+
+        with pytest.raises(RankFailedError):
+            MeshProgram(prog).run(1)
+
+    def test_shape_preserving_enforced(self):
+        def prog(mesh):
+            g = mesh.grid((4, 4))
+            mesh.axis_op(lambda b: b[:, :2], g, axis=1)
+
+        with pytest.raises(RankFailedError) as info:
+            MeshProgram(prog).run(1)
+        assert isinstance(info.value.original, ArchetypeError)
+
+    def test_charges_per_vector(self):
+        from repro.machines.model import MachineModel
+
+        toy = MachineModel("toy", alpha=0, beta=0, flop_time=1e-6)
+
+        def prog(mesh):
+            g = mesh.grid((4, 6))
+            mesh.axis_op(lambda b: b, g, axis=1, flops_per_vector=100.0)
+
+        res = MeshProgram(prog).run(1, machine=toy)
+        assert res.times[0] == pytest.approx(400e-6)
+
+
+class TestFFT3D:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_numpy(self, p, rng):
+        arr = rng.normal(size=(8, 8, 8)) + 1j * rng.normal(size=(8, 8, 8))
+        res = fft3d_archetype().run(p, arr)
+        assert np.allclose(res.values[0], np.fft.fftn(arr), atol=1e-8)
+
+    def test_nonuniform_shape(self, rng):
+        arr = rng.normal(size=(4, 6, 10)).astype(complex)
+        res = fft3d_archetype().run(2, arr)
+        assert np.allclose(res.values[0], np.fft.fftn(arr), atol=1e-8)
+
+    def test_inverse_roundtrip(self, rng):
+        arr = rng.normal(size=(4, 4, 8)).astype(complex)
+        fwd = run_fft3d(2, arr).values[0]
+        back = run_fft3d(2, fwd, inverse=True).values[0]
+        assert np.allclose(back, arr, atol=1e-10)
+
+    def test_result_only_on_root(self, rng):
+        arr = rng.normal(size=(4, 4, 4)).astype(complex)
+        res = fft3d_archetype().run(4, arr)
+        assert all(v is None for v in res.values[1:])
+
+    def test_sequential_time_model(self):
+        assert sequential_fft3d_time((64, 64, 64), IBM_SP) > sequential_fft3d_time(
+            (16, 16, 16), IBM_SP
+        )
+
+    def test_virtual_time_positive(self, rng):
+        arr = rng.normal(size=(8, 8, 8)).astype(complex)
+        res = fft3d_archetype().run(4, arr, machine=IBM_SP)
+        assert res.elapsed > 0

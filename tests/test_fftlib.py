@@ -1,0 +1,123 @@
+"""From-scratch FFT library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.fftlib import (
+    bit_reverse_indices,
+    fft,
+    fft2,
+    fft_cost,
+    fft_frequencies,
+    ifft,
+    ifft2,
+    is_power_of_two,
+)
+from repro.errors import ReproError
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(2**k) for k in range(12))
+        assert not any(is_power_of_two(n) for n in (0, 3, 6, 12, 100, -4))
+
+    def test_bit_reverse(self):
+        assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+        assert list(bit_reverse_indices(1)) == [0]
+
+    def test_bit_reverse_is_permutation(self):
+        rev = bit_reverse_indices(64)
+        assert sorted(rev) == list(range(64))
+
+    def test_bit_reverse_involution(self):
+        rev = bit_reverse_indices(32)
+        assert np.array_equal(rev[rev], np.arange(32))
+
+    def test_bit_reverse_requires_pow2(self):
+        with pytest.raises(ReproError):
+            bit_reverse_indices(6)
+
+    def test_cost(self):
+        assert fft_cost(1) == 0.0
+        assert fft_cost(8) == pytest.approx(5 * 8 * 3)
+        assert fft_cost(8, count=10) == pytest.approx(10 * 5 * 8 * 3)
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256, 3, 5, 12, 15, 100, 97])
+    def test_forward(self, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 8, 12, 100])
+    def test_inverse(self, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(ifft(x), np.fft.ifft(x), atol=1e-10)
+
+    def test_real_input(self, rng):
+        x = rng.normal(size=32)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-10)
+
+    def test_batched_rows(self, rng):
+        x = rng.normal(size=(5, 16)) + 1j * rng.normal(size=(5, 16))
+        assert np.allclose(fft(x), np.fft.fft(x, axis=-1), atol=1e-10)
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(8, 6)).astype(complex)
+        assert np.allclose(fft(x, axis=0), np.fft.fft(x, axis=0), atol=1e-10)
+
+    def test_fft2(self, rng):
+        x = rng.normal(size=(16, 12)) + 1j * rng.normal(size=(16, 12))
+        assert np.allclose(fft2(x), np.fft.fft2(x), atol=1e-9)
+        assert np.allclose(ifft2(fft2(x)), x, atol=1e-10)
+
+    @given(n=st.integers(1, 128))
+    @settings(max_examples=40, deadline=None)
+    def test_any_length(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-8)
+
+
+class TestMathematicalProperties:
+    @given(n=st.sampled_from([4, 8, 16, 20, 30]))
+    @settings(deadline=None)
+    def test_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(ifft(fft(x)), x, atol=1e-10)
+
+    def test_linearity(self, rng):
+        x = rng.normal(size=32).astype(complex)
+        y = rng.normal(size=32).astype(complex)
+        assert np.allclose(fft(2 * x + 3 * y), 2 * fft(x) + 3 * fft(y), atol=1e-9)
+
+    def test_parseval(self, rng):
+        x = rng.normal(size=64).astype(complex)
+        lhs = np.sum(np.abs(x) ** 2)
+        rhs = np.sum(np.abs(fft(x)) ** 2) / 64
+        assert lhs == pytest.approx(rhs)
+
+    def test_impulse_is_flat(self):
+        x = np.zeros(16, dtype=complex)
+        x[0] = 1.0
+        assert np.allclose(fft(x), np.ones(16), atol=1e-12)
+
+    def test_constant_is_impulse(self):
+        x = np.ones(16, dtype=complex)
+        out = fft(x)
+        assert out[0] == pytest.approx(16.0)
+        assert np.allclose(out[1:], 0.0, atol=1e-12)
+
+    def test_frequencies_match_numpy(self):
+        for n in (4, 5, 8, 9):
+            assert np.allclose(fft_frequencies(n), np.fft.fftfreq(n))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ReproError):
+            fft(np.empty(0))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ReproError):
+            fft(np.float64(1.0))

@@ -1,0 +1,90 @@
+"""Copy-consistent global variables."""
+
+import numpy as np
+import pytest
+
+from repro import spmd_run
+from repro.comm.reductions import MAX, SUM
+from repro.core.globals import GlobalVar
+from repro.errors import ArchetypeError, RankFailedError
+
+
+class TestGlobalVar:
+    def test_synced_initialisation(self):
+        def body(comm):
+            gv = GlobalVar(comm, value=comm.rank * 100, sync=True)
+            return gv.value
+
+        res = spmd_run(4, body)
+        assert res.values == [0, 0, 0, 0]
+
+    def test_unsynced_initialisation_keeps_local(self):
+        def body(comm):
+            return GlobalVar(comm, value=comm.rank).value
+
+        res = spmd_run(3, body)
+        assert res.values == [0, 1, 2]
+
+    def test_set_from_root(self):
+        def body(comm):
+            gv = GlobalVar(comm, value=None)
+            gv.set_from_root("payload" if comm.rank == 1 else None, root=1)
+            return gv.value
+
+        res = spmd_run(3, body)
+        assert res.values == ["payload"] * 3
+
+    def test_set_from_reduction(self):
+        def body(comm):
+            gv = GlobalVar(comm, value=0.0)
+            gv.set_from_reduction(float(comm.rank + 1), SUM)
+            return gv.value
+
+        res = spmd_run(4, body)
+        assert res.values == [10.0] * 4
+
+    def test_reduction_establishes_consistency(self):
+        def body(comm):
+            gv = GlobalVar(comm, value=float(comm.rank))
+            gv.set_from_reduction(float(comm.rank), MAX)
+            gv.check_consistent()
+            return True
+
+        assert all(spmd_run(5, body).values)
+
+    def test_check_consistent_detects_divergence(self):
+        def body(comm):
+            gv = GlobalVar(comm, value=0.0)
+            gv.assign(float(comm.rank))  # violates the discipline
+            gv.check_consistent()
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(3, body)
+        assert isinstance(info.value.original, ArchetypeError)
+
+    def test_check_consistent_arrays(self):
+        def body(comm):
+            gv = GlobalVar(comm, value=np.arange(5))
+            gv.check_consistent()
+            return True
+
+        assert all(spmd_run(3, body).values)
+
+    def test_check_consistent_array_divergence(self):
+        def body(comm):
+            arr = np.arange(5.0)
+            arr[0] = comm.rank
+            GlobalVar(comm, value=arr).check_consistent()
+
+        with pytest.raises(RankFailedError):
+            spmd_run(2, body)
+
+    def test_assign_pure_function_of_consistent_state(self):
+        def body(comm):
+            gv = GlobalVar(comm, value=2.0)
+            gv.assign(gv.value * 3)  # deterministic, consistent
+            gv.check_consistent()
+            return gv.value
+
+        res = spmd_run(4, body)
+        assert res.values == [6.0] * 4

@@ -1,0 +1,217 @@
+"""DistGrid: block-distributed grids with ghost boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import spmd_run
+from repro.core.grid import DistGrid
+from repro.errors import DistributionError, RankFailedError
+
+
+class TestGeometry:
+    def test_local_shape_includes_ghosts(self):
+        def body(comm):
+            g = DistGrid(comm, (8, 8), dist="rows", ghost=2)
+            return (g.local.shape, g.interior.shape, g.owned_shape())
+
+        res = spmd_run(2, body)
+        assert res.values[0] == ((8, 12), (4, 8), (4, 8))
+
+    def test_rows_cols_blocks(self):
+        def body(comm):
+            rows = DistGrid(comm, (8, 6), dist="rows")
+            cols = DistGrid(comm, (8, 6), dist="cols")
+            blocks = DistGrid(comm, (8, 6), dist=(2, 2))
+            return (rows.rect, cols.rect, blocks.rect)
+
+        res = spmd_run(4, body)
+        assert res.values[0][0] == ((0, 2), (0, 6))
+        assert res.values[0][1] == ((0, 8), (0, 1))  # 6 cols over 4 ranks
+        assert res.values[0][2] == ((0, 4), (0, 3))
+
+    def test_explicit_grid_must_match_nprocs(self):
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(3, lambda comm: DistGrid(comm, (4, 4), dist=(2, 2)))
+        assert isinstance(info.value.original, DistributionError)
+
+    def test_negative_ghost(self):
+        with pytest.raises(RankFailedError):
+            spmd_run(1, lambda comm: DistGrid(comm, (4, 4), ghost=-1))
+
+    def test_unknown_dist(self):
+        with pytest.raises(RankFailedError):
+            spmd_run(1, lambda comm: DistGrid(comm, (4, 4), dist="diag"))
+
+    def test_coord_arrays(self):
+        def body(comm):
+            g = DistGrid(comm, (6, 4), dist="rows")
+            ii, jj = g.coord_arrays()
+            g.interior[...] = ii * 10 + jj
+            return g.gather(root=0)
+
+        res = spmd_run(3, body)
+        expected = np.add.outer(np.arange(6) * 10, np.arange(4))
+        assert np.array_equal(res.values[0], expected)
+
+    def test_axis_coords(self):
+        def body(comm):
+            g = DistGrid(comm, (9, 3), dist="rows")
+            return g.axis_coords(0)
+
+        res = spmd_run(3, body)
+        assert np.array_equal(res.values[1], np.arange(3, 6))
+
+
+class TestInteriorIntersection:
+    def test_interior_rank(self):
+        def body(comm):
+            g = DistGrid(comm, (8, 8), dist="rows", ghost=1)
+            return g.interior_intersection(1)
+
+        res = spmd_run(4, body)
+        # rank 0 owns rows 0-1; margin trims its first row and no columns? no:
+        # columns trimmed on both sides since every rank owns all columns.
+        assert res.values[0] == (slice(1, 2), slice(1, 7))
+        assert res.values[1] == (slice(0, 2), slice(1, 7))
+        assert res.values[3] == (slice(0, 1), slice(1, 7))
+
+    def test_per_axis_margin(self):
+        def body(comm):
+            g = DistGrid(comm, (8, 8), dist="rows", ghost=1)
+            return g.interior_intersection((1, 0))
+
+        res = spmd_run(2, body)
+        assert res.values[0] == (slice(1, 4), slice(0, 8))
+
+    def test_rank_with_only_boundary_cells(self):
+        def body(comm):
+            g = DistGrid(comm, (2, 4), dist="rows", ghost=1)
+            sl = g.interior_intersection(1)
+            return g.interior[sl].size
+
+        res = spmd_run(2, body)
+        assert res.values == [0, 0]
+
+    def test_margin_rank_mismatch(self):
+        def body(comm):
+            g = DistGrid(comm, (4, 4), ghost=1)
+            g.interior_intersection((1, 1, 1))
+
+        with pytest.raises(RankFailedError):
+            spmd_run(1, body)
+
+
+class TestDataMovement:
+    def test_from_global_and_gather(self):
+        full = np.arange(48.0).reshape(6, 8)
+
+        def body(comm):
+            g = DistGrid.from_global(comm, full if comm.rank == 0 else None, dist="rows")
+            assert np.array_equal(g.interior, full[g.layout.slices(comm.rank)])
+            back = g.gather(root=0)
+            return back if comm.rank == 0 else back is None
+
+        res = spmd_run(3, body)
+        assert np.array_equal(res.values[0], full)
+        assert res.values[1] is True
+
+    def test_allgather(self):
+        full = np.arange(12.0).reshape(4, 3)
+
+        def body(comm):
+            g = DistGrid.from_global(comm, full if comm.rank == 0 else None)
+            return g.allgather()
+
+        res = spmd_run(2, body)
+        for v in res.values:
+            assert np.array_equal(v, full)
+
+    def test_redistributed(self):
+        full = np.arange(36.0).reshape(6, 6)
+
+        def body(comm):
+            g = DistGrid.from_global(comm, full if comm.rank == 0 else None, dist="rows")
+            g2 = g.redistributed("cols")
+            return np.array_equal(g2.interior, full[g2.layout.slices(comm.rank)])
+
+        assert all(spmd_run(3, body).values)
+
+    def test_like(self):
+        def body(comm):
+            g = DistGrid(comm, (4, 4), ghost=1, dtype=np.float32)
+            h = g.like(fill=3.0)
+            return (h.local.shape == g.local.shape, h.dtype == g.dtype, float(h.interior[0, 0]))
+
+        res = spmd_run(2, body)
+        assert res.values[0] == (True, True, 3.0)
+
+    def test_fill_from(self):
+        def body(comm):
+            g = DistGrid(comm, (4, 4))
+            g.fill_from(lambda i, j: (i + 1.0) * (j + 1.0))
+            return g.gather(root=0)
+
+        res = spmd_run(4, body)
+        assert np.array_equal(res.values[0], np.outer(np.arange(1.0, 5), np.arange(1.0, 5)))
+
+
+class TestEdgeGhosts:
+    def test_copy_mode(self):
+        def body(comm):
+            g = DistGrid(comm, (4, 4), dist="rows", ghost=1, fill=0.0)
+            g.interior[...] = comm.rank + 1.0
+            g.fill_edge_ghosts(mode="copy")
+            lo, hi = g.rect[0]
+            out = {}
+            if lo == 0:
+                out["top"] = g.local[0, 1:-1].copy()
+            if hi == 4:
+                out["bottom"] = g.local[-1, 1:-1].copy()
+            out["left"] = g.local[1:-1, 0].copy()
+            return out
+
+        res = spmd_run(2, body)
+        assert np.all(res.values[0]["top"] == 1.0)
+        assert np.all(res.values[1]["bottom"] == 2.0)
+        # every rank touches the left physical edge (rows distribution)
+        assert np.all(res.values[0]["left"] == 1.0)
+
+    def test_zero_mode(self):
+        def body(comm):
+            g = DistGrid(comm, (4, 4), ghost=1, fill=5.0)
+            g.interior[...] = 1.0
+            g.fill_edge_ghosts(mode="zero")
+            return float(g.local[0, 1])
+
+        res = spmd_run(1, body)
+        assert res.values[0] == 0.0
+
+    def test_requires_ghosts(self):
+        def body(comm):
+            DistGrid(comm, (4, 4)).fill_edge_ghosts()
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(1, body)
+        assert isinstance(info.value.original, DistributionError)
+
+
+class TestExchangeIntegration:
+    def test_exchange_updates_ghosts(self):
+        def body(comm):
+            g = DistGrid(comm, (6, 4), dist="rows", ghost=1)
+            g.interior[...] = float(comm.rank)
+            g.exchange()
+            lo, hi = g.rect[0]
+            got = {}
+            if lo > 0:
+                got["above"] = float(g.local[0, 1])
+            if hi < 6:
+                got["below"] = float(g.local[-1, 1])
+            return got
+
+        res = spmd_run(3, body)
+        assert res.values[1] == {"above": 0.0, "below": 2.0}
+
+    def test_exchange_requires_ghosts(self):
+        with pytest.raises(RankFailedError):
+            spmd_run(2, lambda comm: DistGrid(comm, (4, 4)).exchange())

@@ -1,0 +1,134 @@
+"""Data layouts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DistributionError
+from repro.comm.layout import (
+    Layout,
+    block_layout,
+    col_layout,
+    replicated_layout,
+    row_layout,
+    single_owner_layout,
+)
+
+
+class TestRowColLayouts:
+    def test_row_layout_shapes(self):
+        lay = row_layout((10, 6), 4)
+        assert [lay.shape(r) for r in range(4)] == [(2, 6), (3, 6), (2, 6), (3, 6)]
+        lay.validate_tiling()
+
+    def test_col_layout_shapes(self):
+        lay = col_layout((10, 6), 3)
+        assert [lay.shape(r) for r in range(3)] == [(10, 2), (10, 2), (10, 2)]
+        lay.validate_tiling()
+
+    def test_col_needs_2d(self):
+        with pytest.raises(DistributionError):
+            col_layout((10,), 2)
+
+    def test_more_ranks_than_rows(self):
+        lay = row_layout((2, 4), 5)
+        lay.validate_tiling()
+        assert sum(lay.size(r) for r in range(5)) == 8
+        assert any(lay.size(r) == 0 for r in range(5))
+
+    @given(
+        n=st.integers(1, 60),
+        m=st.integers(1, 60),
+        p=st.integers(1, 16),
+    )
+    def test_row_layout_always_tiles(self, n, m, p):
+        row_layout((n, m), p).validate_tiling()
+
+
+class TestBlockLayout:
+    def test_2x2(self):
+        lay = block_layout((4, 4), (2, 2))
+        assert lay.rect(0) == ((0, 2), (0, 2))
+        assert lay.rect(3) == ((2, 4), (2, 4))
+        lay.validate_tiling()
+
+    def test_row_major_rank_order(self):
+        lay = block_layout((4, 6), (2, 3))
+        # rank 1 is at grid coords (0, 1)
+        assert lay.rect(1) == ((0, 2), (2, 4))
+
+    def test_3d(self):
+        lay = block_layout((4, 4, 4), (2, 2, 1))
+        lay.validate_tiling()
+        assert lay.nranks == 4
+        assert lay.shape(0) == (2, 2, 4)
+
+    def test_mismatched_dims(self):
+        with pytest.raises(DistributionError):
+            block_layout((4, 4), (2, 2, 1))
+
+    @given(
+        shape=st.tuples(st.integers(1, 20), st.integers(1, 20)),
+        grid=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    )
+    def test_always_tiles(self, shape, grid):
+        block_layout(shape, grid).validate_tiling()
+
+    @given(
+        shape=st.tuples(st.integers(1, 12), st.integers(1, 12)),
+        grid=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+        data=st.data(),
+    )
+    def test_owner_of_consistent(self, shape, grid, data):
+        lay = block_layout(shape, grid)
+        i = data.draw(st.integers(0, shape[0] - 1))
+        j = data.draw(st.integers(0, shape[1] - 1))
+        owner = lay.owner_of((i, j))
+        (lo0, hi0), (lo1, hi1) = lay.rect(owner)
+        assert lo0 <= i < hi0 and lo1 <= j < hi1
+
+
+class TestSpecialLayouts:
+    def test_single_owner(self):
+        lay = single_owner_layout((5, 5), 4, owner=2)
+        assert lay.size(2) == 25
+        assert all(lay.size(r) == 0 for r in (0, 1, 3))
+        lay.validate_tiling()
+
+    def test_single_owner_bad_owner(self):
+        with pytest.raises(DistributionError):
+            single_owner_layout((5,), 2, owner=2)
+
+    def test_replicated(self):
+        lay = replicated_layout((3, 3), 3)
+        assert all(lay.size(r) == 9 for r in range(3))
+        lay.validate_tiling()  # skipped for replicated, must not raise
+
+    def test_owner_of_out_of_domain(self):
+        lay = row_layout((4, 4), 2)
+        with pytest.raises(DistributionError):
+            lay.owner_of((9, 0))
+
+    def test_owner_of_wrong_rank(self):
+        lay = row_layout((4, 4), 2)
+        with pytest.raises(DistributionError):
+            lay.owner_of((1,))
+
+
+class TestValidation:
+    def test_overlap_detected(self):
+        bad = Layout((4,), (((0, 3),), ((2, 4),)), name="bad")
+        with pytest.raises(DistributionError):
+            bad.validate_tiling()
+
+    def test_gap_detected(self):
+        bad = Layout((4,), (((0, 1),), ((2, 4),)), name="gappy")
+        with pytest.raises(DistributionError):
+            bad.validate_tiling()
+
+    def test_slices(self):
+        lay = row_layout((6, 4), 3)
+        assert lay.slices(1) == (slice(2, 4), slice(0, 4))
+
+    def test_negative_extent(self):
+        with pytest.raises(DistributionError):
+            row_layout((-1, 4), 2)

@@ -1,0 +1,119 @@
+"""Machine performance models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.machines import (
+    CRAY_T3D,
+    ETHERNET_SUNS,
+    IBM_SP,
+    IDEAL,
+    INTEL_DELTA,
+    INTEL_PARAGON,
+    MachineModel,
+    get_machine,
+    list_machines,
+)
+
+
+class TestMessageTime:
+    def test_ideal_is_free(self):
+        assert IDEAL.message_time(10**9) == 0.0
+
+    def test_alpha_beta(self):
+        m = MachineModel("m", alpha=1e-4, beta=1e-7, flop_time=1e-8)
+        assert m.message_time(0) == pytest.approx(1e-4)
+        assert m.message_time(1000) == pytest.approx(1e-4 + 1e-4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ReproError):
+            INTEL_DELTA.message_time(-1)
+
+    def test_congestion_scales_with_nodes(self):
+        m = MachineModel("m", alpha=1e-4, beta=0, flop_time=0, congestion_per_node=0.1)
+        assert m.message_time(0, nodes=2) == pytest.approx(1e-4)
+        assert m.message_time(0, nodes=12) == pytest.approx(2e-4)
+
+    def test_congestion_floor_at_two_nodes(self):
+        m = MachineModel("m", alpha=1e-4, beta=0, flop_time=0, congestion_per_node=0.1)
+        assert m.message_time(0, nodes=1) == m.message_time(0, nodes=2)
+
+    @given(nbytes=st.integers(0, 10**8))
+    def test_monotone_in_size(self, nbytes):
+        assert IBM_SP.message_time(nbytes + 1) >= IBM_SP.message_time(nbytes)
+
+
+class TestComputeTime:
+    def test_linear_in_flops(self):
+        assert INTEL_DELTA.compute_time(8e6) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            IDEAL.compute_time(-1)
+
+    def test_paging_penalty(self):
+        m = MachineModel(
+            "m", alpha=0, beta=0, flop_time=1e-6, mem_per_node=1000, paging_factor=9.0
+        )
+        base = m.compute_time(100, working_set_bytes=1000)
+        paged = m.compute_time(100, working_set_bytes=2000)
+        # half the working set overflows: factor 1 + 8*0.5 = 5
+        assert paged == pytest.approx(5 * base)
+
+    def test_no_penalty_within_memory(self):
+        m = MachineModel("m", alpha=0, beta=0, flop_time=1e-6, mem_per_node=1000)
+        assert m.compute_time(100, working_set_bytes=999) == m.compute_time(100)
+
+    def test_memory_model_disabled(self):
+        assert IDEAL.compute_time(100, working_set_bytes=1e18) == IDEAL.compute_time(100)
+
+
+class TestDerived:
+    def test_bandwidth(self):
+        assert INTEL_DELTA.bandwidth() == pytest.approx(12e6)
+        assert IDEAL.bandwidth() == float("inf")
+
+    def test_half_performance_length(self):
+        n_half = IBM_SP.half_performance_length()
+        assert n_half == pytest.approx(IBM_SP.alpha * 35e6)
+
+    def test_flops_rate(self):
+        assert IBM_SP.flops_rate() == pytest.approx(40e6)
+
+    def test_describe_mentions_name(self):
+        assert "intel-delta" in INTEL_DELTA.describe()
+
+    def test_comm_to_compute_ratio(self):
+        # One byte per flop on the Delta: communication dominates.
+        assert INTEL_DELTA.comm_to_compute_ratio(1.0) > 0.5
+
+
+class TestValidation:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ReproError):
+            MachineModel("bad", alpha=-1, beta=0, flop_time=0)
+
+    def test_bad_paging_factor(self):
+        with pytest.raises(ReproError):
+            MachineModel("bad", alpha=0, beta=0, flop_time=0, paging_factor=0.5)
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert get_machine("ibm-sp") is IBM_SP
+        assert get_machine("ideal") is IDEAL
+
+    def test_unknown(self):
+        with pytest.raises(ReproError, match="unknown machine"):
+            get_machine("cm-5")
+
+    def test_list(self):
+        names = list_machines()
+        assert "intel-delta" in names and "cray-t3d" in names
+        assert names == sorted(names)
+
+    def test_latency_ordering_matches_era(self):
+        # T3D had by far the lowest latency; Ethernet the highest.
+        assert CRAY_T3D.alpha < IBM_SP.alpha < ETHERNET_SUNS.alpha
+        assert INTEL_PARAGON.bandwidth() > INTEL_DELTA.bandwidth()

@@ -1,0 +1,89 @@
+"""Closest pair of points."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.nearest import (
+    brute_force_pair,
+    closest_pair,
+    closest_pair_cost,
+    one_deep_closest_pair,
+)
+
+points_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 150), st.just(2)),
+    elements=st.floats(-1000, 1000, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSequentialClosestPair:
+    def test_simple(self):
+        pts = np.array([[0, 0], [10, 10], [1, 0], [5, 5]])
+        d, a, b = closest_pair(pts)
+        assert d == pytest.approx(1.0)
+        assert (a, b) == ((0.0, 0.0), (1.0, 0.0))
+
+    def test_fewer_than_two(self):
+        assert closest_pair(np.empty((0, 2)))[0] == math.inf
+        assert closest_pair(np.array([[1.0, 1.0]]))[0] == math.inf
+
+    def test_duplicate_points(self):
+        pts = np.array([[3.0, 4.0], [3.0, 4.0], [10.0, 10.0]])
+        assert closest_pair(pts)[0] == 0.0
+
+    @given(pts=points_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, pts):
+        assert closest_pair(pts)[0] == pytest.approx(
+            brute_force_pair(pts)[0], abs=1e-9
+        )
+
+    def test_large_vs_brute(self, rng):
+        pts = rng.uniform(0, 1000, size=(600, 2))
+        assert closest_pair(pts)[0] == pytest.approx(brute_force_pair(pts)[0])
+
+    def test_cost_model(self):
+        assert closest_pair_cost(1000) > closest_pair_cost(100) > 0
+
+
+class TestOneDeepClosestPair:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_matches_sequential(self, p, rng):
+        pts = rng.uniform(0, 100, size=(500, 2))
+        expected = closest_pair(pts)[0]
+        res = one_deep_closest_pair().run(p, pts)
+        for v in res.values:
+            assert v[0] == pytest.approx(expected)
+
+    @given(pts=points_strategy, p=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, pts, p):
+        expected = brute_force_pair(pts)[0]
+        res = one_deep_closest_pair().run(p, pts)
+        assert res.values[0][0] == pytest.approx(expected, abs=1e-9)
+
+    def test_pair_spanning_narrow_strips(self):
+        """A cross pair spanning several thin strips must be found."""
+        # Clusters far apart in x except two points that straddle the
+        # middle; with many ranks the strips around the pair are thin.
+        pts = np.array(
+            [[0.0, 0.0], [0.1, 50.0], [49.9, 0.0], [50.1, 0.05], [100.0, 50.0], [99.9, 0.0]]
+        )
+        expected = brute_force_pair(pts)[0]
+        res = one_deep_closest_pair().run(3, pts)
+        assert res.values[0][0] == pytest.approx(expected)
+
+    def test_identical_points_across_ranks(self):
+        pts = np.array([[1.0, 1.0]] * 10 + [[5.0, 5.0]] * 10)
+        res = one_deep_closest_pair().run(4, pts)
+        assert res.values[0][0] == 0.0
+
+    def test_result_identical_on_all_ranks(self, rng):
+        pts = rng.normal(size=(300, 2))
+        res = one_deep_closest_pair().run(5, pts)
+        assert all(v == res.values[0] for v in res.values)

@@ -1,0 +1,163 @@
+"""The one-deep divide-and-conquer skeleton."""
+
+import numpy as np
+import pytest
+
+from repro.core.onedeep import OneDeepDC, PhaseSpec, SplitterStrategy
+from repro.errors import ArchetypeError, RankFailedError
+from repro.machines.model import MachineModel
+
+TOY = MachineModel("toy", alpha=1e-4, beta=1e-7, flop_time=1e-7)
+
+
+def identity_merge_spec() -> PhaseSpec:
+    """A merge phase that redistributes nothing: piece j empty except
+    j == rank, combine concatenates."""
+    return PhaseSpec(
+        sample=lambda local: None,
+        params=lambda samples, n: samples,
+        partition=lambda params, local, n: [
+            [local] if j == 0 else [] for j in range(n)
+        ],
+        combine=lambda pieces: [x for piece in pieces for x in piece],
+    )
+
+
+class TestConstruction:
+    def test_requires_a_phase(self):
+        with pytest.raises(ArchetypeError):
+            OneDeepDC(solve=lambda x: x)
+
+    def test_distribute_must_match_nprocs(self):
+        arch = OneDeepDC(
+            solve=lambda x: x,
+            merge=identity_merge_spec(),
+            distribute=lambda problem, n: [problem],  # wrong count
+        )
+        with pytest.raises(ArchetypeError):
+            arch.run(3, [1, 2, 3])
+
+
+class TestSkeletonMechanics:
+    def test_degenerate_split_runs_solve_on_sections(self):
+        seen = []
+
+        def solve(local):
+            seen.append(list(local))
+            return sum(local)
+
+        arch = OneDeepDC(solve=solve, merge=identity_merge_spec())
+        res = arch.run(2, [1, 2, 3, 4])
+        assert sorted(map(tuple, seen)) == [(1, 2), (3, 4)]
+        # identity merge funnels everything to rank 0
+        assert res.values[0] == [3, 7]
+        assert res.values[1] == []
+
+    def test_phase_partition_count_checked(self):
+        bad = PhaseSpec(
+            sample=lambda x: None,
+            params=lambda s, n: None,
+            partition=lambda p, local, n: [local],  # wrong count for n > 1
+            combine=lambda pieces: pieces,
+        )
+        arch = OneDeepDC(solve=lambda x: x, merge=bad)
+        with pytest.raises(RankFailedError) as info:
+            arch.run(2, [1, 2, 3, 4])
+        assert isinstance(info.value.original, ArchetypeError)
+
+    def test_phase_order(self):
+        events = []
+        spec = lambda name: PhaseSpec(  # noqa: E731
+            sample=lambda local: None,
+            params=lambda s, n: None,
+            partition=lambda p, local, n: (
+                events.append(f"{name}-partition"),
+                [local if j == 0 else [] for j in range(n)],
+            )[1],
+            combine=lambda pieces: (
+                events.append(f"{name}-combine"),
+                [x for piece in pieces for x in piece],
+            )[1],
+        )
+
+        def solve(local):
+            events.append("solve")
+            return local
+
+        OneDeepDC(solve=solve, split=spec("split"), merge=spec("merge")).run(1, [1])
+        assert events == [
+            "split-partition",
+            "split-combine",
+            "solve",
+            "merge-partition",
+            "merge-combine",
+        ]
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["master", "replicated"])
+    def test_both_strategies_agree(self, strategy, rng):
+        from repro.apps.sorting import one_deep_mergesort
+
+        data = rng.integers(0, 1000, size=500)
+        res = one_deep_mergesort(strategy=strategy).run(4, data)
+        assert np.array_equal(np.concatenate(res.values), np.sort(data))
+
+    def test_master_computes_params_once(self):
+        calls = []
+
+        merge = PhaseSpec(
+            sample=lambda local: local,
+            params=lambda s, n: calls.append(1) or None,
+            partition=lambda p, local, n: [local if j == 0 else [] for j in range(n)],
+            combine=lambda pieces: [x for piece in pieces for x in piece],
+        )
+        OneDeepDC(solve=lambda x: x, merge=merge, strategy="master").run(4, list(range(8)))
+        assert len(calls) == 1
+
+    def test_replicated_computes_params_everywhere(self):
+        calls = []
+
+        merge = PhaseSpec(
+            sample=lambda local: local,
+            params=lambda s, n: calls.append(1) or None,
+            partition=lambda p, local, n: [local if j == 0 else [] for j in range(n)],
+            combine=lambda pieces: [x for piece in pieces for x in piece],
+        )
+        OneDeepDC(solve=lambda x: x, merge=merge, strategy="replicated").run(
+            4, list(range(8))
+        )
+        assert len(calls) == 4
+
+
+class TestCostCharging:
+    def test_solve_cost_on_clock(self):
+        arch = OneDeepDC(
+            solve=lambda x: x,
+            solve_cost=lambda local: 1000.0,
+            merge=identity_merge_spec(),
+        )
+        res = arch.run(1, [1, 2, 3], machine=TOY)
+        assert res.times[0] >= 1000.0 * TOY.flop_time
+
+    def test_phase_costs_on_clock(self):
+        spec = identity_merge_spec()
+        spec.sample_cost = lambda local: 500.0
+        spec.partition_cost = lambda local: 500.0
+        spec.combine_cost = lambda combined: 500.0
+        arch = OneDeepDC(solve=lambda x: x, merge=spec)
+        res = arch.run(1, [1], machine=TOY)
+        assert res.times[0] == pytest.approx(1500.0 * TOY.flop_time)
+
+
+class TestExecutionModes:
+    def test_sequential_equals_threads(self, rng):
+        from repro.apps.sorting import one_deep_quicksort
+
+        data = rng.integers(0, 10**6, size=2000)
+        arch = one_deep_quicksort()
+        seq = arch.run(5, data, mode="sequential")
+        thr = arch.run(5, data, mode="threads")
+        for a, b in zip(seq.values, thr.values):
+            assert np.array_equal(a, b)
+        assert seq.times == thr.times

@@ -1,0 +1,103 @@
+"""Block-partition index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DistributionError
+from repro.util.partition import (
+    block_bounds,
+    block_count,
+    block_owner,
+    block_slice,
+    split_evenly,
+)
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert [block_bounds(8, 4, i) for i in range(4)] == [
+            (0, 2),
+            (2, 4),
+            (4, 6),
+            (6, 8),
+        ]
+
+    def test_uneven_split(self):
+        bounds = [block_bounds(10, 3, i) for i in range(3)]
+        assert bounds == [(0, 3), (3, 6), (6, 10)]
+
+    def test_single_part(self):
+        assert block_bounds(7, 1, 0) == (0, 7)
+
+    def test_more_parts_than_items(self):
+        counts = [block_count(3, 5, i) for i in range(5)]
+        assert sum(counts) == 3
+        assert all(c in (0, 1) for c in counts)
+
+    def test_empty(self):
+        assert block_bounds(0, 4, 2) == (0, 0)
+
+    def test_bad_part_count(self):
+        with pytest.raises(DistributionError):
+            block_bounds(10, 0, 0)
+
+    def test_bad_index(self):
+        with pytest.raises(DistributionError):
+            block_bounds(10, 3, 3)
+        with pytest.raises(DistributionError):
+            block_bounds(10, 3, -1)
+
+    def test_negative_items(self):
+        with pytest.raises(DistributionError):
+            block_bounds(-1, 3, 0)
+
+    @given(n=st.integers(0, 10_000), p=st.integers(1, 100))
+    def test_tiles_exactly(self, n, p):
+        bounds = [block_bounds(n, p, i) for i in range(p)]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (lo_a, hi_a), (lo_b, _hi_b) in zip(bounds, bounds[1:]):
+            assert hi_a == lo_b
+            assert lo_a <= hi_a
+
+    @given(n=st.integers(1, 10_000), p=st.integers(1, 100))
+    def test_sizes_balanced(self, n, p):
+        counts = [block_count(n, p, i) for i in range(p)]
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == n
+
+
+class TestBlockOwner:
+    @given(n=st.integers(1, 5_000), p=st.integers(1, 64), data=st.data())
+    def test_inverse_of_bounds(self, n, p, data):
+        g = data.draw(st.integers(0, n - 1))
+        owner = block_owner(n, p, g)
+        lo, hi = block_bounds(n, p, owner)
+        assert lo <= g < hi
+
+    def test_out_of_range(self):
+        with pytest.raises(DistributionError):
+            block_owner(10, 3, 10)
+        with pytest.raises(DistributionError):
+            block_owner(10, 3, -1)
+
+
+class TestSplitEvenly:
+    def test_roundtrip_list(self):
+        data = list(range(17))
+        parts = split_evenly(data, 5)
+        assert [x for part in parts for x in part] == data
+
+    def test_numpy_views(self):
+        arr = np.arange(100)
+        parts = split_evenly(arr, 7)
+        assert sum(p.size for p in parts) == 100
+        assert np.array_equal(np.concatenate(parts), arr)
+
+    def test_block_slice_matches(self):
+        arr = np.arange(23)
+        for i in range(4):
+            assert np.array_equal(
+                split_evenly(arr, 4)[i], arr[block_slice(23, 4, i)]
+            )

@@ -1,0 +1,94 @@
+"""Jacobi Poisson solver (paper §4.4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.poisson import (
+    poisson_archetype,
+    reference_poisson,
+    sequential_poisson_time,
+)
+from repro.machines.catalog import IBM_SP
+
+
+class TestReferenceSolver:
+    def test_converges(self):
+        u, iters = reference_poisson(16, 16, tolerance=1e-5)
+        assert 0 < iters < 10_000
+        assert np.isfinite(u).all()
+
+    def test_laplace_maximum_principle(self):
+        """With f = 0 the converged solution is bounded by the boundary
+        values (discrete maximum principle)."""
+        u, _ = reference_poisson(20, 20, tolerance=1e-7)
+        assert u.max() <= 1.0 + 1e-9
+        assert u.min() >= -1e-9
+
+    def test_linear_boundary_gives_linear_solution(self):
+        """u = x is harmonic: with g(i,j) = i/(n-1) the exact discrete
+        solution is linear, and Jacobi must converge to it."""
+        n = 12
+        g = lambda i, j: np.broadcast_to(i, np.broadcast(i, j).shape) / (n - 1)  # noqa: E731
+        u, _ = reference_poisson(n, n, g=g, tolerance=1e-10, max_iters=50_000)
+        expected = np.broadcast_to(np.arange(n)[:, None] / (n - 1), (n, n))
+        assert np.allclose(u, expected, atol=1e-6)
+
+    def test_source_term_sign(self):
+        """A negative source (-f) lifts the interior (since ∇²u = f)."""
+        f = lambda i, j: np.full(np.broadcast(i, j).shape, -100.0)  # noqa: E731
+        g = lambda i, j: np.zeros(np.broadcast(i, j).shape)  # noqa: E731
+        u, _ = reference_poisson(12, 12, f=f, g=g, tolerance=1e-8, max_iters=20_000)
+        assert u[6, 6] > 0
+
+
+class TestArchetypeSolver:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 9])
+    def test_matches_reference_exactly(self, p):
+        ref_u, ref_it = reference_poisson(18, 22, tolerance=1e-5)
+        res = poisson_archetype().run(p, 18, 22, tolerance=1e-5)
+        result = res.values[0]
+        assert result.iterations == ref_it
+        assert np.array_equal(result.solution, ref_u)
+
+    def test_diffmax_identical_on_all_ranks(self):
+        res = poisson_archetype().run(4, 16, 16, tolerance=1e-4)
+        assert len({v.diffmax for v in res.values}) == 1
+
+    def test_fixed_iteration_budget(self):
+        res = poisson_archetype().run(2, 16, 16, tolerance=0.0, max_iters=7)
+        assert res.values[0].iterations == 7
+
+    def test_gather_optional(self):
+        res = poisson_archetype().run(2, 16, 16, tolerance=1e-3, gather_solution=False)
+        assert res.values[0].solution is None
+
+    def test_custom_source_and_boundary(self):
+        f = lambda i, j: np.full(np.broadcast(i, j).shape, 4.0)  # noqa: E731
+        g = lambda i, j: np.zeros(np.broadcast(i, j).shape)  # noqa: E731
+        ref_u, _ = reference_poisson(14, 14, f=f, g=g, tolerance=1e-6)
+        res = poisson_archetype().run(4, 14, 14, f=f, g=g, tolerance=1e-6)
+        assert np.allclose(res.values[0].solution, ref_u, atol=1e-12)
+
+    def test_boundary_held_fixed(self):
+        res = poisson_archetype().run(4, 16, 16, tolerance=1e-4)
+        u = res.values[0].solution
+        assert np.allclose(u[0, :], 1.0)  # hot top edge (default g)
+        assert np.allclose(u[-1, 1:-1], 0.0)
+
+
+class TestPerformance:
+    def test_sequential_time_model(self):
+        assert sequential_poisson_time(256, 256, 10, IBM_SP) > 0
+        assert sequential_poisson_time(256, 256, 20, IBM_SP) == pytest.approx(
+            2 * sequential_poisson_time(256, 256, 10, IBM_SP)
+        )
+
+    def test_parallel_virtual_time_decreases(self):
+        arch = poisson_archetype()
+        t2 = arch.run(
+            2, 128, 128, machine=IBM_SP, tolerance=0.0, max_iters=5, gather_solution=False
+        ).elapsed
+        t8 = arch.run(
+            8, 128, 128, machine=IBM_SP, tolerance=0.0, max_iters=5, gather_solution=False
+        ).elapsed
+        assert t8 < t2

@@ -1,0 +1,160 @@
+"""Property-based hardening of the runtime: randomized traffic patterns.
+
+Hypothesis generates arbitrary (deadlock-free) communication patterns;
+both backends must deliver exactly the same multisets of messages, and
+virtual clocks must agree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import spmd_run
+from repro.comm.reductions import SUM
+from repro.machines.model import MachineModel
+
+TOY = MachineModel("toy", alpha=1e-4, beta=1e-7, flop_time=1e-7)
+
+
+@st.composite
+def traffic_patterns(draw):
+    """A random all-send-then-all-receive pattern: every rank sends a
+    drawn number of messages to drawn destinations, then receives
+    exactly what it was sent (counts derived from the pattern)."""
+    nprocs = draw(st.integers(2, 6))
+    sends = []
+    for src in range(nprocs):
+        n = draw(st.integers(0, 6))
+        dests = [draw(st.integers(0, nprocs - 1)) for _ in range(n)]
+        sends.append(dests)
+    return nprocs, sends
+
+
+class TestRandomTraffic:
+    @given(pattern=traffic_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_delivery_multisets_match(self, pattern):
+        nprocs, sends = pattern
+        expected = [[] for _ in range(nprocs)]
+        for src, dests in enumerate(sends):
+            for k, dest in enumerate(dests):
+                expected[dest].append((src, k))
+
+        def body(comm):
+            for k, dest in enumerate(sends[comm.rank]):
+                comm.send(dest, (comm.rank, k), tag=1)
+            received = [comm.recv(tag=1) for _ in range(len(expected[comm.rank]))]
+            return sorted(received)
+
+        det = spmd_run(nprocs, body, machine=TOY, backend="deterministic")
+        thr = spmd_run(nprocs, body, machine=TOY, backend="threads")
+        for rank in range(nprocs):
+            assert det.values[rank] == sorted(expected[rank])
+            assert thr.values[rank] == sorted(expected[rank])
+
+    @given(pattern=traffic_patterns(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_clocks_backend_invariant_with_specific_sources(self, pattern, data):
+        """When receives name their sources (deterministic program), the
+        virtual clocks must be identical across backends."""
+        nprocs, sends = pattern
+        per_dest: list[list[tuple[int, int]]] = [[] for _ in range(nprocs)]
+        for src, dests in enumerate(sends):
+            for k, dest in enumerate(dests):
+                per_dest[dest].append((src, k))
+        work = [data.draw(st.integers(0, 10_000)) for _ in range(nprocs)]
+
+        def body(comm):
+            comm.charge(float(work[comm.rank]))
+            for k, dest in enumerate(sends[comm.rank]):
+                comm.send(dest, k, tag=10 + k)
+            got = [
+                comm.recv(source=src, tag=10 + k) for src, k in per_dest[comm.rank]
+            ]
+            return got
+
+        det = spmd_run(nprocs, body, machine=TOY, backend="deterministic")
+        thr = spmd_run(nprocs, body, machine=TOY, backend="threads")
+        assert det.times == thr.times
+        assert det.values == thr.values
+
+    @given(
+        nprocs=st.integers(2, 8),
+        rounds=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_collective_sequences(self, nprocs, rounds, seed):
+        """Random interleavings of collectives stay consistent."""
+        rng = np.random.default_rng(seed)
+        script = rng.integers(0, 4, size=rounds).tolist()
+
+        def body(comm):
+            out = []
+            for op in script:
+                if op == 0:
+                    out.append(comm.allreduce(comm.rank + 1, SUM))
+                elif op == 1:
+                    out.append(tuple(comm.allgather(comm.rank)))
+                elif op == 2:
+                    out.append(comm.bcast(comm.rank if comm.rank == 0 else None))
+                else:
+                    out.append(comm.scan(1, SUM))
+            return out
+
+        res = spmd_run(nprocs, body, machine=TOY)
+        for op_index, op in enumerate(script):
+            column = [v[op_index] for v in res.values]
+            if op == 0:
+                assert column == [nprocs * (nprocs + 1) // 2] * nprocs
+            elif op == 1:
+                assert column == [tuple(range(nprocs))] * nprocs
+            elif op == 2:
+                assert column == [0] * nprocs
+            else:
+                assert column == list(range(1, nprocs + 1))
+
+
+class TestFaultInjectionDuringCollectives:
+    @pytest.mark.parametrize("backend", ["deterministic", "threads"])
+    @pytest.mark.parametrize("faulty_rank", [0, 2])
+    def test_failure_mid_allreduce(self, backend, faulty_rank):
+        from repro.errors import RankFailedError
+
+        def body(comm):
+            if comm.rank == faulty_rank:
+                raise RuntimeError("injected")
+            comm.allreduce(1.0, SUM)
+
+        kwargs = {"deadlock_timeout": 5.0} if backend == "threads" else {}
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(4, body, backend=backend, **kwargs)
+        assert info.value.rank == faulty_rank
+
+    def test_failure_inside_group(self):
+        from repro.errors import RankFailedError
+
+        def body(comm):
+            sub = comm.split(comm.rank % 2)
+            if comm.rank == 3:
+                raise RuntimeError("group fault")
+            sub.barrier()
+            comm.barrier()
+
+        with pytest.raises(RankFailedError) as info:
+            spmd_run(4, body)
+        assert info.value.rank == 3
+
+    def test_failure_during_redistribution(self):
+        from repro.errors import RankFailedError
+        from repro.comm import col_layout, redistribute, row_layout
+
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("mid-redistribution fault")
+            old = row_layout((6, 6), comm.size)
+            new = col_layout((6, 6), comm.size)
+            redistribute(comm, np.zeros(old.shape(comm.rank)), old, new)
+
+        with pytest.raises(RankFailedError):
+            spmd_run(3, body)

@@ -1,0 +1,91 @@
+"""Regular sampling and splitter selection."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util.sampling import (
+    partition_by_splitters,
+    regular_sample,
+    splitters_from_samples,
+)
+
+sorted_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 300),
+    elements=st.integers(-(10**6), 10**6),
+).map(np.sort)
+
+
+class TestRegularSample:
+    def test_empty(self):
+        assert regular_sample(np.array([]), 4).size == 0
+
+    def test_zero_samples(self):
+        assert regular_sample(np.arange(10), 0).size == 0
+
+    def test_includes_minimum(self):
+        arr = np.arange(100)
+        assert regular_sample(arr, 4)[0] == 0
+
+    def test_count(self):
+        assert regular_sample(np.arange(100), 7).size == 7
+
+    @given(arr=sorted_arrays, s=st.integers(1, 20))
+    def test_samples_are_subset_and_sorted(self, arr, s):
+        sample = regular_sample(arr, s)
+        if arr.size == 0:
+            assert sample.size == 0
+            return
+        assert sample.size == s
+        assert np.all(np.isin(sample, arr))
+        assert np.all(np.diff(sample) >= 0)
+
+
+class TestSplitters:
+    def test_uniform(self):
+        samples = np.arange(100)
+        sp = splitters_from_samples(samples, 4)
+        assert sp.size == 3
+        assert list(sp) == [25, 50, 75]
+
+    def test_single_part_no_splitters(self):
+        assert splitters_from_samples(np.arange(10), 1).size == 0
+
+    def test_empty_samples(self):
+        assert splitters_from_samples(np.array([]), 4).size == 0
+
+    @given(arr=sorted_arrays, p=st.integers(1, 16))
+    def test_splitter_count_and_order(self, arr, p):
+        sp = splitters_from_samples(arr, p)
+        if arr.size == 0:
+            assert sp.size == 0
+            return
+        assert sp.size == p - 1
+        assert np.all(np.diff(sp) >= 0)
+
+
+class TestPartitionBySplitters:
+    @given(arr=sorted_arrays, p=st.integers(1, 16))
+    def test_concat_is_identity(self, arr, p):
+        sp = splitters_from_samples(arr, p)
+        pieces = partition_by_splitters(arr, sp)
+        assert len(pieces) == sp.size + 1
+        assert np.array_equal(np.concatenate(pieces) if pieces else arr, arr)
+
+    @given(arr=sorted_arrays, p=st.integers(2, 16))
+    def test_pieces_respect_splitters(self, arr, p):
+        sp = splitters_from_samples(arr, p)
+        pieces = partition_by_splitters(arr, sp)
+        for i, piece in enumerate(pieces):
+            if piece.size == 0:
+                continue
+            if i > 0:
+                assert piece.min() >= sp[i - 1]
+            if i < sp.size:
+                assert piece.max() < sp[i]
+
+    def test_boundary_goes_right(self):
+        pieces = partition_by_splitters(np.array([1, 2, 2, 3]), np.array([2]))
+        assert list(pieces[0]) == [1]
+        assert list(pieces[1]) == [2, 2, 3]

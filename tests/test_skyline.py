@@ -1,0 +1,157 @@
+"""The skyline problem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.skyline import (
+    building_skyline,
+    concat_region_skylines,
+    cut_skyline,
+    height_at,
+    merge_skylines,
+    merge_two_skylines,
+    one_deep_skyline,
+    sequential_skyline,
+    skyline_cost,
+)
+
+buildings_strategy = st.lists(
+    st.tuples(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(1, 50, allow_nan=False),
+        st.floats(0.5, 20, allow_nan=False),
+    ).map(lambda t: (t[0], t[1], t[0] + t[2])),
+    min_size=1,
+    max_size=60,
+).map(lambda lst: np.array(lst))
+
+
+def brute_force_height(buildings: np.ndarray, x: float) -> float:
+    """Max height of any building covering x (reference oracle)."""
+    h = 0.0
+    for left, height, right in np.asarray(buildings).reshape(-1, 3):
+        if left <= x < right:
+            h = max(h, height)
+    return h
+
+
+class TestPrimitives:
+    def test_single_building(self):
+        sky = building_skyline(1.0, 5.0, 3.0)
+        assert np.array_equal(sky, [[1.0, 5.0], [3.0, 0.0]])
+
+    def test_invalid_building(self):
+        with pytest.raises(ValueError):
+            building_skyline(3.0, 5.0, 1.0)
+        with pytest.raises(ValueError):
+            building_skyline(0.0, -1.0, 1.0)
+
+    def test_height_at(self):
+        sky = np.array([[0.0, 3.0], [2.0, 1.0], [4.0, 0.0]])
+        assert height_at(sky, -1.0) == 0.0
+        assert height_at(sky, 0.0) == 3.0
+        assert height_at(sky, 1.9) == 3.0
+        assert height_at(sky, 2.0) == 1.0
+        assert height_at(sky, 5.0) == 0.0
+
+    def test_merge_two_overlapping(self):
+        a = building_skyline(0, 3, 4)
+        b = building_skyline(2, 5, 6)
+        merged = merge_two_skylines(a, b)
+        assert np.array_equal(merged, [[0, 3], [2, 5], [6, 0]])
+
+    def test_merge_disjoint(self):
+        a = building_skyline(0, 2, 1)
+        b = building_skyline(5, 4, 6)
+        merged = merge_two_skylines(a, b)
+        assert np.array_equal(merged, [[0, 2], [1, 0], [5, 4], [6, 0]])
+
+    def test_merge_with_empty(self):
+        a = building_skyline(0, 2, 1)
+        assert np.array_equal(merge_two_skylines(a, np.empty((0, 2))), a)
+
+    def test_cost_model(self):
+        assert skyline_cost(0) == 0.0
+        assert skyline_cost(100) > skyline_cost(10)
+
+
+class TestSequentialSkyline:
+    def test_classic_example(self):
+        buildings = np.array(
+            [(2, 10, 9), (3, 15, 7), (5, 12, 12), (15, 10, 20), (19, 8, 24)]
+        )
+        sky = sequential_skyline(buildings)
+        expected = [(2, 10), (3, 15), (7, 12), (12, 0), (15, 10), (20, 8), (24, 0)]
+        assert np.allclose(sky, expected)
+
+    @given(buildings=buildings_strategy, data=st.data())
+    @settings(max_examples=40)
+    def test_against_brute_force(self, buildings, data):
+        sky = sequential_skyline(buildings)
+        x = data.draw(st.floats(-1, 125, allow_nan=False))
+        assert float(height_at(sky, x)) == pytest.approx(
+            brute_force_height(buildings, x)
+        )
+
+    @given(buildings=buildings_strategy)
+    @settings(max_examples=30)
+    def test_skyline_invariants(self, buildings):
+        sky = sequential_skyline(buildings)
+        xs, hs = sky[:, 0], sky[:, 1]
+        assert np.all(np.diff(xs) > 0), "x strictly increasing"
+        assert np.all(hs[:-1] != hs[1:]) if hs.size > 1 else True
+        assert hs[-1] == 0.0, "skyline ends at ground level"
+
+
+class TestCutSkyline:
+    def test_cut_preserves_heights(self):
+        sky = sequential_skyline(np.array([(0, 10, 5), (3, 6, 9)]))
+        pieces = cut_skyline(sky, np.array([2.0, 6.0]))
+        assert len(pieces) == 3
+        for xs in (1.0, 4.0, 7.0):
+            region = 0 if xs < 2 else (1 if xs < 6 else 2)
+            assert float(height_at(pieces[region], xs)) == pytest.approx(
+                float(height_at(sky, xs))
+            )
+
+    @given(buildings=buildings_strategy, p=st.integers(2, 6), data=st.data())
+    @settings(max_examples=30)
+    def test_cut_and_reassemble(self, buildings, p, data):
+        sky = sequential_skyline(buildings)
+        cuts = np.sort(
+            np.array([data.draw(st.floats(0, 120, allow_nan=False)) for _ in range(p - 1)])
+        )
+        pieces = cut_skyline(sky, cuts)
+        rebuilt = concat_region_skylines(pieces)
+        x = data.draw(st.floats(-1, 125, allow_nan=False))
+        assert float(height_at(rebuilt, x)) == pytest.approx(float(height_at(sky, x)))
+
+
+class TestOneDeepSkyline:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_matches_sequential(self, p, rng):
+        n = 200
+        left = rng.uniform(0, 100, n)
+        blds = np.column_stack([left, rng.uniform(1, 50, n), left + rng.uniform(0.5, 20, n)])
+        expected = sequential_skyline(blds)
+        res = one_deep_skyline().run(p, blds)
+        got = concat_region_skylines(res.values)
+        assert np.allclose(got, expected)
+
+    @given(buildings=buildings_strategy, p=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property(self, buildings, p):
+        expected = sequential_skyline(buildings)
+        res = one_deep_skyline().run(p, buildings)
+        got = concat_region_skylines(res.values)
+        assert np.allclose(got, expected)
+
+    def test_master_strategy(self, rng):
+        n = 100
+        left = rng.uniform(0, 50, n)
+        blds = np.column_stack([left, rng.uniform(1, 9, n), left + rng.uniform(1, 5, n)])
+        res = one_deep_skyline(strategy="master").run(4, blds)
+        assert np.allclose(
+            concat_region_skylines(res.values), sequential_skyline(blds)
+        )

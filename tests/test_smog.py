@@ -1,0 +1,91 @@
+"""Airshed smog model (paper §4.5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.smog import (
+    emission_field,
+    photolysis_rate,
+    sea_breeze_wind,
+    sequential_smog_time,
+    smog_archetype,
+)
+from repro.machines.catalog import IBM_SP
+
+
+class TestForcing:
+    def test_photolysis_diurnal_cycle(self):
+        assert photolysis_rate(0.0) == 0.0  # midnight
+        assert photolysis_rate(0.5) == pytest.approx(0.3)  # midday peak
+        assert 0 < photolysis_rate(0.35) < photolysis_rate(0.5)  # morning
+        assert photolysis_rate(0.9) == 0.0  # night
+        assert photolysis_rate(1.5) == photolysis_rate(0.5)  # wraps daily
+
+    def test_emissions_localised(self):
+        ii, jj = np.ix_(np.arange(40), np.arange(40))
+        e = emission_field(ii, jj, 40, 40)
+        assert e.max() > 1.0
+        assert e[0, 0] < 0.01
+
+    def test_wind_field_bounded(self):
+        ii, jj = np.ix_(np.arange(20), np.arange(20))
+        for t in (0.0, 0.3, 0.7):
+            u, v = sea_breeze_wind(ii, jj, 20, 20, t)
+            assert np.all(np.abs(u) < 2.0) and np.all(np.abs(v) < 2.0)
+
+
+class TestModel:
+    @pytest.mark.parametrize("p", [1, 2, 4, 5])
+    def test_p_invariance(self, p):
+        ref = smog_archetype().run(1, 20, 16, steps=8).values[0]
+        res = smog_archetype().run(p, 20, 16, steps=8).values[0]
+        assert res.peak_ozone == pytest.approx(ref.peak_ozone, abs=1e-13)
+        assert np.allclose(res.ozone, ref.ozone, atol=1e-13)
+        assert res.total_ozone == pytest.approx(ref.total_ozone, rel=1e-10)
+
+    def test_concentrations_nonnegative(self):
+        res = smog_archetype().run(
+            4, 24, 24, steps=30, gather_all_species=True
+        ).values[0]
+        for field in res.fields.values():
+            assert np.all(field >= 0)
+
+    def test_nox_conservation_in_chemistry(self):
+        """NO + NO2 is conserved by the photochemical cycle; only
+        emissions add NOx."""
+        res0 = smog_archetype().run(
+            2, 16, 16, steps=0, gather_all_species=True
+        ).values[0]
+        res = smog_archetype().run(
+            2, 16, 16, steps=5, dt=1e-3, gather_all_species=True
+        ).values[0]
+        nox0 = res0.fields["no"].sum() + res0.fields["no2"].sum()
+        nox = res.fields["no"].sum() + res.fields["no2"].sum()
+        ii, jj = np.ix_(np.arange(16), np.arange(16))
+        emitted = 5 * 1e-3 * emission_field(ii, jj, 16, 16).sum()
+        # Transport uses open boundaries, so a little mass can leave, but
+        # NOx never exceeds initial + emitted.
+        assert nox <= nox0 + emitted + 1e-9
+
+    def test_ozone_titrated_near_sources(self):
+        """Fresh NO near the emission hot spots consumes ozone locally
+        (nighttime chemistry: the run starts at t=0, j=0)."""
+        res = smog_archetype().run(2, 30, 30, steps=20).values[0]
+        o3 = res.ozone
+        # city 1 sits at (0.3, 0.4) in unit coordinates
+        city = o3[9, 12]
+        far = o3[29, 0]
+        assert city < far
+
+    def test_peak_tracks_maximum(self):
+        res = smog_archetype().run(2, 16, 16, steps=10).values[0]
+        assert res.peak_ozone >= float(res.ozone.max()) - 1e-12
+
+    def test_gather_flags(self):
+        res = smog_archetype().run(2, 12, 12, steps=2, gather=False).values[0]
+        assert res.ozone is None and res.fields is None
+
+
+class TestPerformance:
+    def test_sequential_time_model(self):
+        assert sequential_smog_time(64, 64, 10, IBM_SP) > 0

@@ -1,0 +1,178 @@
+"""Sorting applications: mergesort (three ways) and quicksort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.sorting import (
+    merge_cost,
+    merge_sorted,
+    merge_two_sorted,
+    one_deep_mergesort,
+    one_deep_quicksort,
+    sequential_mergesort,
+    sequential_sort_time,
+    sort_cost,
+    traditional_mergesort,
+)
+
+int_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 400),
+    elements=st.integers(-(10**9), 10**9),
+)
+
+
+class TestMergePrimitives:
+    def test_merge_two_basic(self):
+        a = np.array([1, 3, 5])
+        b = np.array([2, 4, 6])
+        assert list(merge_two_sorted(a, b)) == [1, 2, 3, 4, 5, 6]
+
+    def test_merge_two_empty(self):
+        assert list(merge_two_sorted(np.array([]), np.array([1]))) == [1]
+        assert list(merge_two_sorted(np.array([1]), np.array([]))) == [1]
+
+    def test_merge_stability(self):
+        """Equal keys: all of `a`'s occurrences precede `b`'s."""
+        a = np.array([5, 5])
+        b = np.array([5])
+        merged = merge_two_sorted(a, b)
+        assert list(merged) == [5, 5, 5]
+
+    @given(a=int_arrays, b=int_arrays)
+    def test_merge_two_property(self, a, b):
+        a, b = np.sort(a), np.sort(b)
+        merged = merge_two_sorted(a, b)
+        assert np.array_equal(merged, np.sort(np.concatenate([a, b])))
+
+    @given(
+        arrays=st.lists(int_arrays, min_size=1, max_size=6),
+    )
+    @settings(max_examples=40)
+    def test_merge_k_property(self, arrays):
+        sorted_arrays = [np.sort(a) for a in arrays]
+        merged = merge_sorted(sorted_arrays)
+        assert np.array_equal(merged, np.sort(np.concatenate(sorted_arrays)))
+
+    def test_merge_sorted_all_empty(self):
+        assert merge_sorted([np.array([]), np.array([])]).size == 0
+
+
+class TestSequentialMergesort:
+    @given(arr=int_arrays)
+    @settings(max_examples=40)
+    def test_sorts(self, arr):
+        assert np.array_equal(sequential_mergesort(arr), np.sort(arr))
+
+    def test_does_not_mutate_input(self):
+        arr = np.array([3, 1, 2])
+        sequential_mergesort(arr)
+        assert list(arr) == [3, 1, 2]
+
+    def test_cost_model(self):
+        assert sort_cost(0) == 0.0
+        assert sort_cost(1) == 0.0
+        assert sort_cost(1024) == pytest.approx(4.0 * 1024 * 10)
+        assert merge_cost(100, ways=1) == 0.0
+        assert merge_cost(8, ways=4) == pytest.approx(6.0 * 8 * 2)
+
+    def test_sequential_time_positive(self):
+        from repro.machines.catalog import INTEL_DELTA
+
+        assert sequential_sort_time(10**6, INTEL_DELTA) > 0
+
+
+class TestOneDeepMergesort:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_sorts_across_rank_counts(self, p, rng):
+        data = rng.integers(-(10**6), 10**6, size=1000)
+        res = one_deep_mergesort().run(p, data)
+        assert np.array_equal(np.concatenate(res.values), np.sort(data))
+
+    @given(arr=int_arrays, p=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, arr, p):
+        res = one_deep_mergesort().run(p, arr)
+        assert np.array_equal(np.concatenate(res.values), np.sort(arr))
+
+    def test_duplicate_heavy_input(self):
+        data = np.repeat([7, 3, 7, 1], 100)
+        res = one_deep_mergesort().run(4, data)
+        assert np.array_equal(np.concatenate(res.values), np.sort(data))
+
+    def test_already_sorted(self):
+        data = np.arange(500)
+        res = one_deep_mergesort().run(5, data)
+        assert np.array_equal(np.concatenate(res.values), data)
+
+    def test_reverse_sorted(self):
+        data = np.arange(500)[::-1].copy()
+        res = one_deep_mergesort().run(5, data)
+        assert np.array_equal(np.concatenate(res.values), np.sort(data))
+
+    def test_floats(self, rng):
+        data = rng.normal(size=800)
+        res = one_deep_mergesort().run(4, data)
+        assert np.array_equal(np.concatenate(res.values), np.sort(data))
+
+    def test_rank_ranges_ordered(self, rng):
+        """Post-condition from the paper: rank i's keys all precede rank
+        i+1's keys."""
+        data = rng.integers(0, 10**6, size=2000)
+        res = one_deep_mergesort().run(6, data)
+        for a, b in zip(res.values, res.values[1:]):
+            if a.size and b.size:
+                assert a[-1] <= b[0]
+
+
+class TestOneDeepQuicksort:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8])
+    def test_sorts(self, p, rng):
+        data = rng.integers(-(10**6), 10**6, size=1500)
+        res = one_deep_quicksort().run(p, data)
+        assert np.array_equal(np.concatenate(res.values), np.sort(data))
+
+    @given(arr=int_arrays, p=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, arr, p):
+        res = one_deep_quicksort().run(p, arr)
+        assert np.array_equal(np.concatenate(res.values), np.sort(arr))
+
+    def test_constant_input(self):
+        data = np.zeros(100, dtype=np.int64)
+        res = one_deep_quicksort().run(4, data)
+        assert np.array_equal(np.concatenate(res.values), data)
+
+    def test_master_strategy(self, rng):
+        data = rng.integers(0, 1000, size=600)
+        res = one_deep_quicksort(strategy="master").run(3, data)
+        assert np.array_equal(np.concatenate(res.values), np.sort(data))
+
+
+class TestTraditionalMergesort:
+    @pytest.mark.parametrize("p", [1, 2, 3, 6, 8])
+    def test_sorts(self, p, rng):
+        data = rng.integers(0, 10**6, size=900)
+        res = traditional_mergesort().run(p, data)
+        assert np.array_equal(res.values[0], np.sort(data))
+
+    @given(arr=int_arrays, p=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property(self, arr, p):
+        res = traditional_mergesort().run(p, arr)
+        assert np.array_equal(res.values[0], np.sort(arr))
+
+
+class TestOneDeepBeatsTraditional:
+    def test_virtual_time_comparison(self, rng):
+        """The paper's headline claim (Figure 6): the one-deep version is
+        significantly faster on a message-passing machine."""
+        from repro.machines.catalog import INTEL_DELTA
+
+        data = rng.integers(0, 10**6, size=1 << 15)
+        p = 16
+        t_onedeep = one_deep_mergesort().run(p, data, machine=INTEL_DELTA).elapsed
+        t_trad = traditional_mergesort().run(p, data, machine=INTEL_DELTA).elapsed
+        assert t_onedeep < t_trad / 2

@@ -1,0 +1,189 @@
+"""Sub-communicators (Comm.split) — the substrate for archetype composition."""
+
+import numpy as np
+import pytest
+
+from repro import spmd_run
+from repro.comm import SUM
+from repro.errors import DeadlockError
+
+
+class TestSplitBasics:
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 7])
+    def test_partition_by_parity(self, p):
+        def body(comm):
+            sub = comm.split(comm.rank % 2)
+            return (sub.rank, sub.size, sub.allreduce(comm.rank, SUM))
+
+        res = spmd_run(p, body)
+        for rank, (local, size, total) in enumerate(res.values):
+            group = [r for r in range(p) if r % 2 == rank % 2]
+            assert local == group.index(rank)
+            assert size == len(group)
+            assert total == sum(group)
+
+    def test_key_reorders(self):
+        def body(comm):
+            sub = comm.split(0, key=comm.size - comm.rank)
+            return sub.rank
+
+        assert spmd_run(4, body).values == [3, 2, 1, 0]
+
+    def test_none_color_excluded(self):
+        def body(comm):
+            sub = comm.split(None if comm.rank == 1 else "group")
+            if comm.rank == 1:
+                return sub is None
+            return (sub.rank, sub.size)
+
+        res = spmd_run(3, body)
+        assert res.values == [(0, 2), True, (1, 2)]
+
+    def test_string_colors(self):
+        def body(comm):
+            sub = comm.split("even" if comm.rank % 2 == 0 else "odd")
+            return sub.size
+
+        res = spmd_run(5, body)
+        assert res.values == [3, 2, 3, 2, 3]
+
+    def test_singleton_groups(self):
+        def body(comm):
+            sub = comm.split(comm.rank)
+            return (sub.rank, sub.size, sub.allreduce(7, SUM))
+
+        res = spmd_run(4, body)
+        assert all(v == (0, 1, 7) for v in res.values)
+
+
+class TestIsolation:
+    def test_same_tag_different_contexts(self):
+        """Group traffic never matches parent traffic, even on one tag."""
+
+        def body(comm):
+            sub = comm.split(comm.rank % 2)
+            if sub.size > 1:
+                sub.send((sub.rank + 1) % sub.size, ("group", comm.rank), tag=5)
+            comm.send((comm.rank + 1) % comm.size, ("world", comm.rank), tag=5)
+            world_msg = comm.recv(tag=5)
+            group_msg = sub.recv(tag=5) if sub.size > 1 else None
+            return (world_msg[0], None if group_msg is None else group_msg[0])
+
+        res = spmd_run(5, body)
+        for world, group in res.values:
+            assert world == "world"
+            assert group in (None, "group")
+
+    def test_wildcard_recv_respects_context(self):
+        """An ANY_SOURCE/ANY_TAG receive on the parent must not steal a
+        group message."""
+
+        def body(comm):
+            sub = comm.split(0)
+            if comm.rank == 1:
+                sub.send(0, "group-payload", tag=1)
+                comm.send(0, "world-payload", tag=2)
+            if comm.rank == 0:
+                first = comm.recv()  # wildcard on the world communicator
+                second = sub.recv()
+                return (first, second)
+            return None
+
+        res = spmd_run(2, body)
+        assert res.values[0] == ("world-payload", "group-payload")
+
+    def test_group_deadlock_detected(self):
+        def body(comm):
+            sub = comm.split(0)
+            sub.recv(source=(sub.rank + 1) % sub.size, tag=9)
+
+        with pytest.raises(DeadlockError):
+            spmd_run(3, body)
+
+    def test_sibling_groups_run_independently(self):
+        """Two halves each run their own collective sequence concurrently."""
+
+        def body(comm):
+            sub = comm.split(comm.rank < comm.size // 2)
+            acc = sub.allreduce(np.arange(3) * (comm.rank + 1), SUM)
+            gathered = sub.gather(comm.rank, root=0)
+            return (acc.tolist(), gathered)
+
+        res = spmd_run(6, body)
+        lower = [0, 1, 2]
+        upper = [3, 4, 5]
+        expected_lower = (np.arange(3) * sum(r + 1 for r in lower)).tolist()
+        expected_upper = (np.arange(3) * sum(r + 1 for r in upper)).tolist()
+        assert res.values[0] == (expected_lower, lower)
+        assert res.values[3] == (expected_upper, upper)
+
+
+class TestClockSharing:
+    def test_group_comm_advances_rank_clock(self):
+        from repro.machines.model import MachineModel
+
+        toy = MachineModel("toy", alpha=1e-3, beta=0.0, flop_time=1e-6)
+
+        def body(comm):
+            sub = comm.split(0)
+            before = comm.clock
+            sub.barrier()
+            return comm.clock > before
+
+        res = spmd_run(3, body, machine=toy)
+        assert all(res.values)
+
+    def test_nested_splits(self):
+        def body(comm):
+            half = comm.split(comm.rank // 2)
+            single = half.split(half.rank)
+            return (half.size, single.size, single.allreduce(1, SUM))
+
+        res = spmd_run(4, body)
+        assert all(v == (2, 1, 1) for v in res.values)
+
+    def test_global_rank_property(self):
+        def body(comm):
+            sub = comm.split(comm.rank % 2, key=-comm.rank)
+            return (sub.global_rank, comm.global_rank)
+
+        res = spmd_run(4, body)
+        assert [v[0] for v in res.values] == [0, 1, 2, 3]
+        assert [v[1] for v in res.values] == [0, 1, 2, 3]
+
+
+class TestComposition:
+    def test_two_archetypes_side_by_side(self, rng):
+        """Task-parallel composition (paper §6): half the machine sorts
+        while the other half runs a mesh computation, then results meet
+        on the world communicator."""
+        from repro.core.meshspectral import MeshContext
+        from repro.core.onedeep import OneDeepDC
+        from repro.apps.sorting.mergesort import _merge_phase
+        from repro.util.partition import split_evenly
+
+        data = rng.integers(0, 1000, size=400)
+
+        def body(comm):
+            color = "sort" if comm.rank < comm.size // 2 else "mesh"
+            sub = comm.split(color)
+            if color == "sort":
+                sections = split_evenly(np.sort(data)[::-1].copy(), sub.size)
+                arch = OneDeepDC(
+                    solve=lambda x: np.sort(x, kind="stable"), merge=_merge_phase()
+                )
+                piece = arch.body(sub, sections)
+                local = float(np.sum(piece))
+            else:
+                mesh = MeshContext(sub)
+                g = mesh.grid((8, 8), fill=1.0)
+                from repro.comm.reductions import SUM as MSUM
+
+                local = mesh.grid_reduce(g, np.sum, MSUM, identity=0.0)
+                local = float(local) if sub.rank == 0 else 0.0
+            # Combine the two task results on the world communicator.
+            return comm.allreduce(local, SUM)
+
+        res = spmd_run(6, body)
+        expected = float(np.sum(data)) + 64.0
+        assert all(v == pytest.approx(expected) for v in res.values)

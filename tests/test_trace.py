@@ -1,0 +1,173 @@
+"""Execution tracing and analysis."""
+
+import pytest
+
+from repro import spmd_run
+from repro.comm.reductions import SUM
+from repro.machines.model import MachineModel
+from repro.trace.analysis import summarize
+from repro.trace.events import CommEvent, ComputeEvent
+
+TOY = MachineModel("toy", alpha=1e-3, beta=1e-6, flop_time=1e-6)
+
+
+class TestTracer:
+    def test_no_tracer_by_default(self):
+        res = spmd_run(2, lambda comm: comm.barrier())
+        assert res.tracer is None
+
+    def test_events_recorded(self):
+        def body(comm):
+            comm.charge(100, label="warmup")
+            if comm.rank == 0:
+                comm.send(1, "x", tag=1)
+            else:
+                comm.recv(source=0, tag=1)
+
+        res = spmd_run(2, body, machine=TOY, trace=True)
+        ev0 = res.tracer.events_for(0)
+        kinds = [type(e).__name__ for e in ev0]
+        assert kinds == ["ComputeEvent", "CommEvent"]
+        assert isinstance(ev0[0], ComputeEvent) and ev0[0].label == "warmup"
+        send = ev0[1]
+        assert isinstance(send, CommEvent)
+        assert send.kind == "send" and send.peer == 1 and send.tag == 1
+
+    def test_recv_duration_includes_wait(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.charge(5000)  # sender is late
+                comm.send(1, "x", tag=1)
+            else:
+                comm.recv(source=0, tag=1)
+
+        res = spmd_run(2, body, machine=TOY, trace=True)
+        recv = res.tracer.events_for(1)[0]
+        assert recv.kind == "recv"
+        assert recv.duration >= 5e-3
+
+    def test_all_events_sorted(self):
+        def body(comm):
+            comm.charge(100 * (comm.rank + 1))
+            comm.barrier()
+
+        res = spmd_run(3, body, machine=TOY, trace=True)
+        events = res.tracer.all_events()
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+
+
+class TestSummary:
+    def test_message_accounting(self):
+        def body(comm):
+            comm.send((comm.rank + 1) % comm.size, b"1234", tag=1)
+            comm.recv(tag=1)
+
+        res = spmd_run(4, body, machine=TOY, trace=True)
+        s = summarize(res.tracer)
+        assert s.total_messages == 4
+        assert s.total_bytes == 4 * (16 + 4)
+        for r in s.ranks:
+            assert r.messages_sent == r.messages_received == 1
+            assert r.bytes_sent == r.bytes_received == 20
+
+    def test_flop_accounting(self):
+        def body(comm):
+            comm.charge(123.0)
+            comm.charge(77.0)
+
+        res = spmd_run(2, body, machine=TOY, trace=True)
+        s = summarize(res.tracer)
+        assert s.total_flops == pytest.approx(400.0)
+        assert s.ranks[0].flops == pytest.approx(200.0)
+
+    def test_comm_fraction(self):
+        def compute_heavy(comm):
+            comm.charge(10**6)
+            comm.allreduce(1.0, SUM)
+
+        def comm_heavy(comm):
+            comm.charge(10)
+            for _ in range(20):
+                comm.allreduce(1.0, SUM)
+
+        a = summarize(spmd_run(4, compute_heavy, machine=TOY, trace=True).tracer)
+        b = summarize(spmd_run(4, comm_heavy, machine=TOY, trace=True).tracer)
+        assert a.comm_fraction() < b.comm_fraction()
+
+    def test_empty_trace(self):
+        res = spmd_run(2, lambda comm: None, trace=True)
+        s = summarize(res.tracer)
+        assert s.total_messages == 0
+        assert s.comm_fraction() == 0.0
+
+    def test_collective_message_counts(self):
+        """Binomial broadcast sends exactly P-1 messages in total."""
+
+        def body(comm):
+            comm.bcast("x" if comm.rank == 0 else None, root=0)
+
+        for p in (2, 3, 4, 7, 8):
+            res = spmd_run(p, body, machine=TOY, trace=True)
+            assert summarize(res.tracer).total_messages == p - 1
+
+    def test_alltoall_message_count(self):
+        def body(comm):
+            comm.alltoall([comm.rank] * comm.size)
+
+        for p in (2, 4, 5):
+            res = spmd_run(p, body, machine=TOY, trace=True)
+            assert summarize(res.tracer).total_messages == p * (p - 1)
+
+
+class TestPhaseBreakdown:
+    def test_labels_accumulated(self):
+        from repro.trace.analysis import phase_breakdown
+
+        def body(comm):
+            comm.charge(100, label="solve")
+            comm.charge(50, label="merge")
+            comm.charge(25, label="solve")
+
+        res = spmd_run(3, body, machine=TOY, trace=True)
+        breakdown = phase_breakdown(res.tracer)
+        assert breakdown["solve"] == pytest.approx(3 * 125e-6)
+        assert breakdown["merge"] == pytest.approx(3 * 50e-6)
+
+    def test_unlabelled_bucket(self):
+        from repro.trace.analysis import phase_breakdown
+
+        res = spmd_run(1, lambda comm: comm.charge(10), machine=TOY, trace=True)
+        assert "(unlabelled)" in phase_breakdown(res.tracer)
+
+
+class TestGantt:
+    def test_renders_rows_per_rank(self):
+        from repro.trace.analysis import render_gantt
+
+        def body(comm):
+            comm.charge(1000 * (comm.rank + 1), label="w")
+            comm.barrier()
+
+        res = spmd_run(3, body, machine=TOY, trace=True)
+        art = render_gantt(res.tracer, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("rank   0")
+        assert "#" in lines[1] and "." in lines[1]
+
+    def test_empty_trace(self):
+        from repro.trace.analysis import render_gantt
+
+        res = spmd_run(2, lambda comm: None, trace=True)
+        assert render_gantt(res.tracer) == "(empty trace)"
+
+    def test_longer_work_longer_bar(self):
+        from repro.trace.analysis import render_gantt
+
+        def body(comm):
+            comm.charge(100 if comm.rank == 0 else 10_000, label="w")
+
+        res = spmd_run(2, body, machine=TOY, trace=True)
+        lines = render_gantt(res.tracer, width=60).splitlines()
+        assert lines[2].count("#") > lines[1].count("#")

@@ -1,0 +1,98 @@
+"""Traditional (deep) parallel divide and conquer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.traditional import TraditionalDC
+from repro.machines.model import MachineModel
+
+TOY = MachineModel("toy", alpha=1e-4, beta=1e-7, flop_time=1e-7)
+
+
+def summing_dc() -> TraditionalDC:
+    """Sum a list by splitting it in half recursively."""
+    return TraditionalDC(
+        divide=lambda d: (d[: len(d) // 2], d[len(d) // 2 :]),
+        leaf_solve=sum,
+        merge2=lambda a, b: a + b,
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 6, 7, 8, 11])
+    def test_sum_any_rank_count(self, p):
+        data = list(range(100))
+        res = summing_dc().run(p, data)
+        assert res.values[0] == sum(data)
+        assert all(v is None for v in res.values[1:])
+
+    @given(
+        p=st.integers(1, 12),
+        data=st.lists(st.integers(-100, 100), min_size=1, max_size=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_sum(self, p, data):
+        res = summing_dc().run(p, data)
+        assert res.values[0] == sum(data)
+
+    def test_sorting(self, rng):
+        from repro.apps.sorting import traditional_mergesort
+
+        data = rng.integers(0, 1000, size=777)
+        res = traditional_mergesort().run(6, data)
+        assert np.array_equal(res.values[0], np.sort(data))
+
+    def test_small_input_many_ranks(self):
+        res = summing_dc().run(8, [42])
+        assert res.values[0] == 42
+
+
+class TestTreeStructure:
+    def test_divide_called_once_per_internal_node(self):
+        divides = []
+        arch = TraditionalDC(
+            divide=lambda d: (divides.append(len(d)), (d[: len(d) // 2], d[len(d) // 2 :]))[1],
+            leaf_solve=sum,
+            merge2=lambda a, b: a + b,
+        )
+        arch.run(4, list(range(16)))
+        # P=4 -> 3 internal nodes: sizes 16, 8, 8
+        assert sorted(divides, reverse=True) == [16, 8, 8]
+
+    def test_root_pays_top_level_costs(self):
+        arch = TraditionalDC(
+            divide=lambda d: (d[: len(d) // 2], d[len(d) // 2 :]),
+            leaf_solve=sum,
+            merge2=lambda a, b: a + b,
+            divide_cost=lambda d: float(len(d)),
+            leaf_cost=lambda d: float(len(d)),
+            merge_cost=lambda m: 1.0,
+        )
+        res = arch.run(4, list(range(64)), machine=TOY)
+        # Rank 0 divides at sizes 64 and 32, solves a leaf of 16, merges twice.
+        assert res.times[0] >= (64 + 32 + 16 + 2) * TOY.flop_time
+
+    def test_concurrency_limited_at_top(self):
+        """The paper's second inefficiency: the top of the tree is serial.
+
+        Total virtual time does not halve when doubling ranks for a
+        transfer-dominated problem."""
+        data = np.arange(1 << 14)
+        arch = TraditionalDC(
+            divide=lambda d: (d[: d.size // 2], d[d.size // 2 :]),
+            leaf_solve=lambda d: float(d.sum()),
+            merge2=lambda a, b: a + b,
+        )
+        t2 = arch.run(2, data, machine=TOY).elapsed
+        t8 = arch.run(8, data, machine=TOY).elapsed
+        assert t8 > t2 / 4  # far from linear scaling
+
+
+class TestModeEquivalence:
+    def test_sequential_equals_threads(self):
+        data = list(range(50))
+        seq = summing_dc().run(6, data, mode="sequential")
+        thr = summing_dc().run(6, data, mode="threads")
+        assert seq.values == thr.values
+        assert seq.times == thr.times

@@ -1,0 +1,99 @@
+"""Travelling salesman on the branch-and-bound archetype."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.apps.tsp import (
+    brute_force_tour,
+    random_cities,
+    tour_cost,
+    tsp_bnb,
+    tsp_problem,
+    validate_distances,
+)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ReproError):
+            validate_distances(np.zeros((2, 3)))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ReproError):
+            validate_distances(np.zeros((1, 1)))
+
+    def test_rejects_negative(self):
+        d = np.ones((3, 3))
+        d[0, 1] = -1
+        with pytest.raises(ReproError):
+            validate_distances(d)
+
+    def test_tour_cost_closes_loop(self):
+        d = np.array([[0.0, 1, 9], [9, 0, 2], [3, 9, 0]])
+        assert tour_cost(d, (0, 1, 2)) == 1 + 2 + 3
+
+
+class TestBound:
+    def test_bound_admissible_at_root(self):
+        d = random_cities(7, seed=3)
+        problem = tsp_problem(d)
+        exact, _ = brute_force_tour(d)
+        assert problem.bound(problem.root()) <= exact + 1e-12
+
+    def test_bound_exact_on_complete_tour(self):
+        d = random_cities(5, seed=1)
+        problem = tsp_problem(d)
+        exact, path = brute_force_tour(d)
+        node = (exact, path)
+        assert problem.bound(node) == pytest.approx(exact)
+
+
+class TestSolver:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_matches_brute_force(self, p):
+        d = random_cities(8, seed=7)
+        exact, _ = brute_force_tour(d)
+        res = tsp_bnb(d).run(p)
+        assert res.values[0].value == pytest.approx(exact)
+
+    def test_tour_is_valid(self):
+        d = random_cities(8, seed=11)
+        res = tsp_bnb(d).run(3)
+        tour = res.values[0].solution[1]
+        assert tour[0] == tour[-1] == 0
+        assert sorted(tour[:-1]) == list(range(8))
+        assert tour_cost(d, tour[:-1]) == pytest.approx(res.values[0].value)
+
+    @given(n=st.integers(3, 7), seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_brute_force(self, n, seed):
+        d = random_cities(n, seed=seed)
+        exact, _ = brute_force_tour(d)
+        res = tsp_bnb(d, chunk=8).run(3)
+        assert res.values[0].value == pytest.approx(exact)
+
+    def test_asymmetric_distances(self):
+        d = np.array(
+            [[0.0, 1, 10, 10], [10, 0, 1, 10], [10, 10, 0, 1], [1, 10, 10, 0]]
+        )
+        res = tsp_bnb(d).run(2)
+        assert res.values[0].value == pytest.approx(4.0)
+        assert res.values[0].solution[1] == (0, 1, 2, 3, 0)
+
+    def test_two_cities(self):
+        d = np.array([[0.0, 2.0], [3.0, 0.0]])
+        res = tsp_bnb(d).run(1)
+        assert res.values[0].value == pytest.approx(5.0)
+
+    def test_result_identical_on_all_ranks(self):
+        d = random_cities(7, seed=2)
+        res = tsp_bnb(d).run(5)
+        assert len({v.value for v in res.values}) == 1
+
+    def test_modes_agree_on_optimum(self):
+        d = random_cities(8, seed=5)
+        seq = tsp_bnb(d).run(4, mode="sequential")
+        thr = tsp_bnb(d).run(4, mode="threads")
+        assert seq.values[0].value == pytest.approx(thr.values[0].value)

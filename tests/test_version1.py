@@ -1,0 +1,146 @@
+"""The paper's two-version methodology, end to end.
+
+§1.2: the initial archetype-based version (version 1, parfor/forall) is
+sequentially executable and semantically equal to the sequential
+algorithm; the archetype's transformation to the SPMD version (version
+2) preserves semantics.  These tests pin the whole chain:
+
+    sequential  ==  version 1 (parfor/forall)  ==  version 2 (SPMD)
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.parfor import forall, parfor
+from repro.errors import ArchetypeError
+from repro.apps.version1 import fft2d_v1, mergesort_v1, poisson_v1
+
+
+class TestParfor:
+    def test_results_in_index_order(self):
+        assert parfor(5, lambda i: i * i) == [0, 1, 4, 9, 16]
+
+    def test_empty(self):
+        assert parfor(0, lambda i: i) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ArchetypeError):
+            parfor(-1, lambda i: i)
+
+    def test_shuffled_execution_order(self):
+        """Iterations run out of order — the independence check."""
+        seen = []
+        parfor(16, seen.append)
+        assert sorted(seen) == list(range(16))
+        assert seen != list(range(16))
+
+    def test_dependence_is_caught_by_shuffle(self):
+        """A body with a hidden inter-iteration dependence produces
+        different results than its in-order execution — the defect the
+        shuffle exists to expose."""
+        acc = [0]
+
+        def dependent(i):
+            acc[0] += i
+            return acc[0]
+
+        shuffled = parfor(8, dependent)
+        acc[0] = 0
+        in_order = parfor(8, dependent, check_independence=False)
+        assert shuffled != in_order
+
+    def test_in_order_mode(self):
+        seen = []
+        parfor(8, seen.append, check_independence=False)
+        assert seen == list(range(8))
+
+
+class TestForall:
+    def test_snapshot_semantics(self):
+        """The right-hand side must see pre-update values even when the
+        output is an input (the HPF guarantee)."""
+        a = np.arange(6.0)
+        forall(a, [(i,) for i in range(1, 6)], lambda i, x: x[i - 1], a)
+        assert list(a) == [0, 0, 1, 2, 3, 4]
+
+    def test_all_indices_default(self):
+        a = np.zeros((3, 3))
+        forall(a, None, lambda i, j: float(i * 10 + j))
+        assert a[2, 1] == 21.0
+
+    def test_multiple_reads(self):
+        a = np.ones(4)
+        b = np.arange(4.0)
+        out = np.zeros(4)
+        forall(out, [(i,) for i in range(4)], lambda i, x, y: x[i] + y[i], a, b)
+        assert list(out) == [1, 2, 3, 4]
+
+
+class TestMergesortChain:
+    @pytest.mark.parametrize("n_logical", [1, 2, 4, 7])
+    def test_v1_equals_sequential(self, n_logical, rng):
+        data = rng.integers(0, 10**6, size=500)
+        assert np.array_equal(mergesort_v1(data, n_logical), np.sort(data))
+
+    @pytest.mark.parametrize("p", [2, 4, 5])
+    def test_v1_equals_v2(self, p, rng):
+        from repro.apps.sorting import one_deep_mergesort
+
+        data = rng.integers(0, 10**6, size=800)
+        v1 = mergesort_v1(data, p)
+        v2 = np.concatenate(one_deep_mergesort().run(p, data).values)
+        assert np.array_equal(v1, v2)
+
+    @given(
+        arr=hnp.arrays(
+            dtype=np.int64, shape=st.integers(0, 200), elements=st.integers(-999, 999)
+        ),
+        p=st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_chain(self, arr, p):
+        from repro.apps.sorting import one_deep_mergesort
+
+        expected = np.sort(arr)
+        assert np.array_equal(mergesort_v1(arr, p), expected)
+        v2 = np.concatenate(one_deep_mergesort().run(p, arr).values)
+        assert np.array_equal(v2, expected)
+
+
+class TestFFTChain:
+    def test_v1_equals_numpy(self, rng):
+        arr = rng.normal(size=(12, 16)) + 1j * rng.normal(size=(12, 16))
+        assert np.allclose(fft2d_v1(arr), np.fft.fft2(arr), atol=1e-9)
+
+    def test_v1_inverse(self, rng):
+        arr = rng.normal(size=(8, 8)).astype(complex)
+        assert np.allclose(fft2d_v1(fft2d_v1(arr), inverse=True), arr, atol=1e-10)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_v1_equals_v2(self, p, rng):
+        from repro.apps.fft2d import fft2d_archetype
+
+        arr = rng.normal(size=(8, 12)).astype(complex)
+        v1 = fft2d_v1(arr)
+        v2 = fft2d_archetype().run(p, arr, 1).values[0]
+        assert np.allclose(v1, v2, atol=1e-9)
+
+
+class TestPoissonChain:
+    def test_v1_equals_sequential(self):
+        from repro.apps.poisson import reference_poisson
+
+        u1, it1 = poisson_v1(10, 12, tolerance=1e-3)
+        u2, it2 = reference_poisson(10, 12, tolerance=1e-3)
+        assert it1 == it2
+        assert np.allclose(u1, u2, atol=1e-12)
+
+    def test_v1_equals_v2(self):
+        from repro.apps.poisson import poisson_archetype
+
+        u1, it1 = poisson_v1(10, 10, tolerance=1e-3)
+        res = poisson_archetype().run(3, 10, 10, tolerance=1e-3).values[0]
+        assert res.iterations == it1
+        assert np.allclose(res.solution, u1, atol=1e-12)
