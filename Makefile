@@ -1,0 +1,20 @@
+# Convenience entry points.  PYTHONPATH is set so targets work without an
+# editable install (the offline container has no `wheel`).
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test chaos bench
+
+# Tier-1 gate: the full suite (includes the chaos-marked tests at the
+# default 4 seeds and the verify subsystem's own tests) — stays fast.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The chaos suite on its own: the 4-seed smoke sweep over the flagship
+# apps + racy controls, then every @pytest.mark.chaos test.
+chaos:
+	$(PYTHON) -m repro.verify --smoke
+	$(PYTHON) -m pytest -q -m chaos
+
+bench:
+	$(PYTHON) -m repro.bench --help

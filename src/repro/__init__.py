@@ -15,7 +15,10 @@ A reproduction of Massingill & Chandy, *Parallel Program Archetypes*
 - :mod:`repro.apps` — the paper's application suite (sorting, skyline,
   FFT, Poisson, CFD, FDTD, spectral flow, smog model);
 - :mod:`repro.bench` — the experiment harness that regenerates the paper's
-  figures.
+  figures;
+- :mod:`repro.verify` — schedule-space verification: seeded schedule
+  fuzzing, a nondeterminism/deadlock oracle, wildcard-race detection,
+  and fault injection (see ``docs/verification.md``).
 
 Quickstart::
 
@@ -34,6 +37,8 @@ from repro.errors import (
     CommError,
     DeadlockError,
     DistributionError,
+    InjectedFaultError,
+    RankFailedError,
     ReproError,
 )
 from repro.runtime.spmd import RunResult, spmd_run
@@ -53,6 +58,8 @@ __all__ = [
     "CommError",
     "DeadlockError",
     "DistributionError",
+    "InjectedFaultError",
+    "RankFailedError",
     "ArchetypeError",
     "spmd_run",
     "RunResult",

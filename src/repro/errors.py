@@ -37,6 +37,16 @@ class RankFailedError(ReproError):
         self.original = original
 
 
+class InjectedFaultError(ReproError):
+    """A fault deliberately injected by the verification layer fired.
+
+    Raised inside a rank's body when a :class:`repro.runtime.scheduler.FaultPlan`
+    crashes that rank; surfaces to the caller wrapped in
+    :class:`RankFailedError` exactly like an organic rank failure, which is
+    the property the fault-injection tests assert.
+    """
+
+
 class DistributionError(ReproError):
     """A data distribution is invalid or incompatible with an operation."""
 

@@ -48,6 +48,24 @@ class Mailbox:
         del self._pending[best_i]
         return msg
 
+    def match_indices(self, source: int, tag: int, ctx: int = 0) -> list[int]:
+        """Indices (in delivery order) of all pending messages matching the
+        (source, tag, ctx) pattern.  Backends with non-default matching
+        policies (e.g. the fuzzed backend's wildcard perturbation) use this
+        to enumerate the legal choices before taking one with
+        :meth:`take_at`."""
+        return [i for i, m in enumerate(self._pending) if m.matches(source, tag, ctx)]
+
+    def peek_at(self, index: int) -> Message:
+        """The pending message at *index* without removing it."""
+        return self._pending[index]
+
+    def take_at(self, index: int) -> Message:
+        """Remove and return the pending message at *index*."""
+        msg = self._pending[index]
+        del self._pending[index]
+        return msg
+
     def snapshot(self) -> list[Message]:
         """Copy of the pending queue (diagnostics only)."""
         return list(self._pending)

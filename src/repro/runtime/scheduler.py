@@ -1,6 +1,6 @@
-"""Backends: deterministic run-to-block scheduling and free-running threads.
+"""Backends: deterministic, fuzzed, and free-running thread scheduling.
 
-Both backends expose the same two operations to the communication layer:
+All backends expose the same two operations to the communication layer:
 
 - ``deliver(msg)`` — place a message in the destination rank's mailbox and
   wake anyone waiting for it;
@@ -8,20 +8,30 @@ Both backends expose the same two operations to the communication layer:
   until a matching message is available, then remove and return it.
 
 The deterministic backend runs exactly one rank at a time and always picks
-the lowest-numbered runnable rank, so executions are reproducible and a
-global block is detected immediately and reported as a
-:class:`~repro.errors.DeadlockError` naming what each rank was waiting for.
+the runnable rank furthest behind in virtual time (ties by rank id), so
+executions are reproducible and a global block is detected immediately and
+reported as a :class:`~repro.errors.DeadlockError` naming what each rank
+was waiting for.
+
+The fuzzed backend (:class:`FuzzedBackend`) keeps the run-to-block
+machinery but drives every scheduling decision from a seeded PRNG, so each
+seed is a distinct — yet fully reproducible — legal interleaving.  It can
+also perturb which message a *wildcard* receive matches and inject faults
+(message delay/reordering, rank crashes) from a :class:`FaultPlan`.  The
+verification layer (:mod:`repro.verify`) builds on it.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 from collections.abc import Callable
+from dataclasses import dataclass
 from enum import Enum
 
-from repro.errors import DeadlockError, RankFailedError
+from repro.errors import DeadlockError, InjectedFaultError, RankFailedError
 from repro.runtime.mailbox import Mailbox
-from repro.runtime.message import Message
+from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
 
 
 class _Aborted(BaseException):
@@ -40,17 +50,64 @@ class _Status(Enum):
     FAILED = "failed"
 
 
+@dataclass(frozen=True)
+class FaultPlan:
+    """Faults for a :class:`FuzzedBackend` to inject, seeded by its PRNG.
+
+    Attributes
+    ----------
+    delay_prob:
+        Probability that a delivered message is held back for a random
+        number of scheduler steps before it reaches the destination
+        mailbox.  Delays are per-(source, dest) FIFO, so MPI's
+        non-overtaking guarantee is preserved: a delayed message also
+        delays every later message on the same channel.  Cross-channel
+        delivery *is* reordered, which is exactly the legal nondeterminism
+        wildcard receives are exposed to.
+    max_delay_steps:
+        Upper bound (inclusive lower bound is 1) on the number of
+        scheduler steps a delayed message is held.
+    crash_rank:
+        Rank to crash, or ``None`` for no crash.
+    crash_at_step:
+        Scheduler step count at (or after) which the crash fires.  The
+        rank raises :class:`~repro.errors.InjectedFaultError` at its next
+        communication point, which surfaces as a
+        :class:`~repro.errors.RankFailedError` naming the rank — never as
+        a hang.
+    """
+
+    delay_prob: float = 0.0
+    max_delay_steps: int = 4
+    crash_rank: int | None = None
+    crash_at_step: int = 0
+
+
 class Backend:
-    """Interface shared by the two scheduling backends."""
+    """Interface shared by the scheduling backends."""
 
     def __init__(self, nprocs: int):
         self.nprocs = nprocs
         self.mailboxes = [Mailbox() for _ in range(nprocs)]
         self._clock_of: Callable[[int], float] = lambda rank: 0.0
+        #: optional tracer installed by the runner; backends that make
+        #: scheduling-relevant matching decisions (the fuzzed backend's
+        #: wildcard perturbation) record them here when present
+        self.tracer = None
 
     def set_clock_source(self, clock_of: Callable[[int], float]) -> None:
-        """Install the per-rank virtual-clock accessor (used by the
-        deterministic backend to schedule in virtual-time order)."""
+        """Install the per-rank virtual-clock accessor.
+
+        Contract: only the run-to-block backends consult this accessor.
+        :class:`DeterministicBackend` reads it on every scheduling decision
+        to run ranks in virtual-time order, and :class:`FuzzedBackend`
+        reads it to timestamp its schedule log and match events.
+        :class:`ThreadedBackend` **ignores it entirely** — free-running OS
+        threads interleave in wall-clock order, so virtual-time ordering
+        applies only to deterministic/fuzzed executions.  (Virtual clocks
+        themselves are still maintained by the contexts and remain correct
+        on every backend; only *scheduling* order is affected.)
+        """
         self._clock_of = clock_of
 
     def deliver(self, msg: Message) -> None:
@@ -164,16 +221,20 @@ class DeterministicBackend(Backend):
         best: int | None = None
         best_clock = 0.0
         for rank in range(self.nprocs):
-            status = self._status[rank]
-            runnable = status == _Status.READY
-            if status == _Status.BLOCKED:
-                predicate = self._predicate[rank]
-                runnable = predicate is not None and predicate()
-            if runnable:
+            if self._is_runnable(rank):
                 clock = self._clock_of(rank)
                 if best is None or clock < best_clock:
                     best, best_clock = rank, clock
         return best
+
+    def _is_runnable(self, rank: int) -> bool:
+        status = self._status[rank]
+        if status == _Status.READY:
+            return True
+        if status == _Status.BLOCKED:
+            predicate = self._predicate[rank]
+            return predicate is not None and predicate()
+        return False
 
     def _rank_main(self, rank: int, body: Callable[[], None]) -> None:
         self._resume[rank].wait()
@@ -196,11 +257,218 @@ class DeterministicBackend(Backend):
             event.set()
 
 
+class FuzzedBackend(DeterministicBackend):
+    """Schedule fuzzing: seeded-PRNG run-to-block scheduling.
+
+    Every scheduling step picks a *uniformly random* runnable rank from a
+    ``random.Random(seed)`` stream instead of the virtual-time-ordered
+    choice, so each seed explores a distinct legal interleaving while the
+    whole execution stays exactly reproducible: same seed ⇒ same
+    scheduling decisions ⇒ same mailbox states ⇒ same results and traces.
+
+    With ``perturb_matching`` (default on), a *wildcard* receive that has
+    several legal candidate messages pending takes a random one instead of
+    the earliest-arriving one.  Only choices a real machine could make are
+    explored: per-source candidates are restricted to the oldest matching
+    message from that source, preserving the non-overtaking guarantee.
+    Each perturbed match is recorded as a
+    :class:`~repro.trace.events.MatchEvent` when a tracer is installed,
+    which is what the wildcard-race detector consumes.
+
+    A :class:`FaultPlan` adds message delay/reordering and rank crashes on
+    top of the random schedule.  Delayed messages are invisible to the
+    destination until released; the scheduler releases them eagerly when
+    no rank could otherwise run, so fault injection never manufactures a
+    false deadlock.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        seed: int = 0,
+        perturb_matching: bool = True,
+        faults: FaultPlan | None = None,
+    ):
+        super().__init__(nprocs)
+        self.seed = seed
+        self.perturb_matching = perturb_matching
+        self.faults = faults
+        self._rng = random.Random(seed)
+        #: scheduling decisions: one (rank, virtual clock at pick time)
+        #: pair per step — the replay/reproducibility log
+        self.schedule_log: list[tuple[int, float]] = []
+        self._step = 0
+        # (source, dest) -> FIFO of (release_step, msg) still in flight
+        self._delayed: dict[tuple[int, int], list[tuple[int, Message]]] = {}
+        self._crashed: set[int] = set()
+
+    # -- transport --------------------------------------------------------
+    def deliver(self, msg: Message) -> None:
+        plan = self.faults
+        if plan is not None and plan.delay_prob > 0.0:
+            key = (msg.source, msg.dest)
+            queue = self._delayed.get(key)
+            # A later message on a channel with a delayed predecessor must
+            # queue behind it (non-overtaking), even if it rolled "no delay".
+            if queue or self._rng.random() < plan.delay_prob:
+                release = self._step + 1 + self._rng.randrange(
+                    max(1, plan.max_delay_steps)
+                )
+                if queue:
+                    release = max(release, queue[-1][0])
+                self._delayed.setdefault(key, []).append((release, msg))
+                return
+        self.mailboxes[msg.dest].put(msg)
+
+    def wait_for_match(
+        self, rank: int, source: int, tag: int, ctx: int, describe: str
+    ) -> Message:
+        self._check_crash(rank)
+        mailbox = self.mailboxes[rank]
+        msg = self._take_match(rank, source, tag, ctx)
+        if msg is not None:
+            return msg
+        self._block(rank, lambda: mailbox.has_match(source, tag, ctx), describe)
+        msg = self._take_match(rank, source, tag, ctx)
+        assert msg is not None, "scheduler resumed rank without a matching message"
+        return msg
+
+    def _take_match(self, rank: int, source: int, tag: int, ctx: int) -> Message | None:
+        """Take a matching message, randomising *legal* wildcard choices.
+
+        For a wildcard receive, any source's oldest matching message is a
+        legal match; picking among them at random is exactly the freedom a
+        real network's arrival order has.  Non-wildcard receives (and the
+        per-source ordering inside a wildcard) stay canonical.
+        """
+        mailbox = self.mailboxes[rank]
+        indices = mailbox.match_indices(source, tag, ctx)
+        if not indices:
+            return None
+        wildcard = source == ANY_SOURCE or tag == ANY_TAG
+        # Oldest legal candidate per source (non-overtaking).
+        per_source: dict[int, int] = {}
+        for i in indices:
+            m = mailbox.peek_at(i)
+            best = per_source.get(m.source)
+            if best is None or m.seq < mailbox.peek_at(best).seq:
+                per_source[m.source] = i
+        candidates = sorted(per_source)
+        if wildcard and self.perturb_matching and len(candidates) > 1:
+            chosen = mailbox.take_at(per_source[self._rng.choice(candidates)])
+        else:
+            chosen = mailbox.take_match(source, tag, ctx)
+        if wildcard and self.tracer is not None:
+            clock = self._clock_of(rank)
+            self.tracer.match(
+                rank=rank,
+                clock=clock,
+                source=chosen.source,
+                tag=chosen.tag,
+                wildcard_source=source == ANY_SOURCE,
+                wildcard_tag=tag == ANY_TAG,
+                candidates=tuple(candidates),
+            )
+        return chosen
+
+    # -- scheduling -------------------------------------------------------
+    def _pick_next(self) -> int | None:
+        self._step += 1
+        self._flush_delayed()
+        runnable = self._runnable_ranks()
+        while not runnable and self._force_release_delayed():
+            runnable = self._runnable_ranks()
+        if not runnable and self._crash_scheduled():
+            # Everyone is blocked but a crash is still due in the future:
+            # let the idle time pass so the fault (not a spurious deadlock)
+            # resolves the wait.
+            self._step = max(self._step, self.faults.crash_at_step)
+            runnable = self._runnable_ranks()
+        if not runnable:
+            return None
+        choice = self._rng.choice(runnable)
+        self.schedule_log.append((choice, self._clock_of(choice)))
+        return choice
+
+    def _runnable_ranks(self) -> list[int]:
+        # A blocked rank whose crash is due counts as runnable so it can be
+        # scheduled once more and raise, instead of hanging forever on a
+        # receive that will never be satisfied.
+        return [
+            rank
+            for rank in range(self.nprocs)
+            if self._is_runnable(rank)
+            or (self._status[rank] == _Status.BLOCKED and self._crash_due(rank))
+        ]
+
+    def _flush_delayed(self) -> None:
+        for key in list(self._delayed):
+            queue = self._delayed[key]
+            while queue and queue[0][0] <= self._step:
+                self.mailboxes[key[1]].put(queue.pop(0)[1])
+            if not queue:
+                del self._delayed[key]
+
+    def _force_release_delayed(self) -> bool:
+        """Release the earliest in-flight delayed message (avoids declaring
+        a deadlock while injected delays still hold messages)."""
+        best_key = None
+        for key, queue in self._delayed.items():
+            if best_key is None or queue[0][0] < self._delayed[best_key][0][0]:
+                best_key = key
+        if best_key is None:
+            return False
+        queue = self._delayed[best_key]
+        self.mailboxes[best_key[1]].put(queue.pop(0)[1])
+        if not queue:
+            del self._delayed[best_key]
+        return True
+
+    # -- fault injection --------------------------------------------------
+    def _crash_scheduled(self) -> bool:
+        """A crash is planned and has not fired yet, and its target rank is
+        still alive (so fast-forwarding to the crash step can unblock)."""
+        plan = self.faults
+        return (
+            plan is not None
+            and plan.crash_rank is not None
+            and plan.crash_rank not in self._crashed
+            and self._status[plan.crash_rank]
+            not in (_Status.DONE, _Status.FAILED)
+        )
+
+    def _crash_due(self, rank: int) -> bool:
+        plan = self.faults
+        return (
+            plan is not None
+            and plan.crash_rank == rank
+            and self._step >= plan.crash_at_step
+            and rank not in self._crashed
+        )
+
+    def _check_crash(self, rank: int) -> None:
+        if self._crash_due(rank):
+            self._crashed.add(rank)
+            raise InjectedFaultError(
+                f"injected crash of rank {rank} at scheduler step {self._step}"
+            )
+
+    def _block(self, rank: int, predicate: Callable[[], bool], describe: str) -> None:
+        super()._block(rank, predicate, describe)
+        # Resumed either because the predicate holds or because the crash
+        # came due while blocked; the crash wins.
+        self._check_crash(rank)
+
+
 class ThreadedBackend(Backend):
     """Free-running threads with condition-variable mailboxes.
 
     ``deadlock_timeout`` bounds how long a receive may wait without any
     message arriving for it before the run is declared deadlocked.
+
+    This backend ignores :meth:`Backend.set_clock_source`: ranks
+    interleave in host wall-clock order, not virtual-time order (see the
+    contract on that method).
     """
 
     def __init__(self, nprocs: int, deadlock_timeout: float = 30.0):

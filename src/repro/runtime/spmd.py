@@ -9,18 +9,64 @@ archetype communication operations).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+import contextlib
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ReproError
 from repro.machines.catalog import IDEAL
 from repro.machines.model import MachineModel
-from repro.runtime.scheduler import Backend, DeterministicBackend, ThreadedBackend
+from repro.runtime.scheduler import (
+    Backend,
+    DeterministicBackend,
+    FaultPlan,
+    FuzzedBackend,
+    ThreadedBackend,
+)
 from repro.trace.tracer import Tracer
 
-#: registered backend names -> constructor
-_BACKENDS = ("deterministic", "threads")
+#: registered backend names
+_BACKENDS = ("deterministic", "fuzzed", "threads")
+
+
+@dataclass(frozen=True)
+class _ScheduleOverride:
+    """Active :func:`fuzzed_schedule` directive."""
+
+    seed: int
+    perturb_matching: bool
+    faults: FaultPlan | None
+
+
+_override: _ScheduleOverride | None = None
+
+
+@contextlib.contextmanager
+def fuzzed_schedule(
+    seed: int,
+    perturb_matching: bool = True,
+    faults: FaultPlan | None = None,
+) -> Iterator[None]:
+    """Force ``backend="deterministic"`` runs inside the block onto a
+    :class:`~repro.runtime.scheduler.FuzzedBackend` with *seed*.
+
+    This is how existing programs and tests are promoted to schedule
+    fuzzing without changing their call sites: any :func:`spmd_run` (or
+    :meth:`Archetype.run <repro.core.archetype.Archetype.run>` in
+    sequential mode) executed under the context manager explores the
+    seed's interleaving instead of the canonical one.  Runs that
+    explicitly request ``backend="threads"`` or ``backend="fuzzed"`` are
+    left alone.  Not reentrant and not thread-safe at the driver level —
+    one exploration at a time.
+    """
+    global _override
+    previous = _override
+    _override = _ScheduleOverride(seed, perturb_matching, faults)
+    try:
+        yield
+    finally:
+        _override = previous
 
 
 @dataclass
@@ -43,6 +89,9 @@ class RunResult:
     times: list[float]
     machine: MachineModel
     tracer: Tracer | None = field(default=None, repr=False)
+    #: for fuzzed runs, the backend's (rank, clock) scheduling log —
+    #: identical across runs with the same seed (else ``None``)
+    schedule: list[tuple[int, float]] | None = field(default=None, repr=False)
 
     @property
     def nprocs(self) -> int:
@@ -69,6 +118,9 @@ def spmd_run(
     backend: str = "deterministic",
     trace: bool = False,
     deadlock_timeout: float = 30.0,
+    seed: int = 0,
+    perturb_matching: bool = True,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Run ``fn(comm, *args, **kwargs)`` on *nprocs* ranks.
 
@@ -85,13 +137,23 @@ def spmd_run(
         Performance model used to charge virtual time (default: the
         cost-free ``IDEAL`` machine).
     backend:
-        ``"deterministic"`` (reproducible run-to-block scheduling) or
+        ``"deterministic"`` (reproducible run-to-block scheduling),
+        ``"fuzzed"`` (seeded random run-to-block scheduling — see
+        :class:`~repro.runtime.scheduler.FuzzedBackend`), or
         ``"threads"`` (free-running OS threads).
     trace:
         When true, record per-rank event traces on ``RunResult.tracer``.
     deadlock_timeout:
         For the threaded backend, seconds a receive may starve before the
         run is declared deadlocked.
+    seed, perturb_matching, faults:
+        Fuzzed-backend knobs (ignored by the other backends): the PRNG
+        seed selecting the interleaving, whether wildcard-receive matching
+        is randomised among legal candidates, and an optional
+        :class:`~repro.runtime.scheduler.FaultPlan` to inject.
+
+    A surrounding :func:`fuzzed_schedule` context overrides
+    ``backend="deterministic"`` requests onto the fuzzed backend.
     """
     if nprocs < 1:
         raise ReproError(f"nprocs must be >= 1, got {nprocs}")
@@ -102,6 +164,11 @@ def spmd_run(
         )
     if backend not in _BACKENDS:
         raise ReproError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+    if backend == "deterministic" and _override is not None:
+        backend = "fuzzed"
+        seed = _override.seed
+        perturb_matching = _override.perturb_matching
+        faults = _override.faults
 
     # Imported here (not at module top) to keep the layering acyclic:
     # repro.comm builds on repro.runtime primitives, while this entry
@@ -111,10 +178,15 @@ def spmd_run(
     engine: Backend
     if backend == "deterministic":
         engine = DeterministicBackend(nprocs)
+    elif backend == "fuzzed":
+        engine = FuzzedBackend(
+            nprocs, seed=seed, perturb_matching=perturb_matching, faults=faults
+        )
     else:
         engine = ThreadedBackend(nprocs, deadlock_timeout=deadlock_timeout)
 
     tracer = Tracer(nprocs) if trace else None
+    engine.tracer = tracer
     comms = [
         Comm(rank=rank, size=nprocs, backend=engine, machine=machine, tracer=tracer)
         for rank in range(nprocs)
@@ -135,4 +207,5 @@ def spmd_run(
         times=[c.clock for c in comms],
         machine=machine,
         tracer=tracer,
+        schedule=list(engine.schedule_log) if isinstance(engine, FuzzedBackend) else None,
     )

@@ -6,7 +6,7 @@ counts, and time breakdowns — the quantities the archetype performance
 models of the paper's reference [32] are built from.
 """
 
-from repro.trace.events import CommEvent, ComputeEvent, Event
+from repro.trace.events import CommEvent, ComputeEvent, Event, MatchEvent
 from repro.trace.tracer import Tracer
 from repro.trace.analysis import TraceSummary, phase_breakdown, render_gantt, summarize
 
@@ -14,6 +14,7 @@ __all__ = [
     "Event",
     "CommEvent",
     "ComputeEvent",
+    "MatchEvent",
     "Tracer",
     "TraceSummary",
     "summarize",

@@ -38,6 +38,26 @@ class CommEvent(Event):
 
 
 @dataclass(frozen=True)
+class MatchEvent(Event):
+    """A wildcard-receive match decision (recorded by the fuzzed backend).
+
+    ``source``/``tag`` identify the message actually taken;
+    ``wildcard_source``/``wildcard_tag`` say which pattern fields of the
+    receive were wildcards; ``candidates`` is the sorted tuple of distinct
+    source ranks whose oldest pending message could legally have matched
+    at decision time.  ``len(candidates) > 1`` with a wildcard source is a
+    *wildcard race*: the program's behaviour may depend on arrival order.
+    ``start == end`` (the decision is instantaneous in virtual time).
+    """
+
+    source: int = -1
+    tag: int = -1
+    wildcard_source: bool = False
+    wildcard_tag: bool = False
+    candidates: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
 class ComputeEvent(Event):
     """A charged compute region; ``flops`` is the useful work accounted."""
 

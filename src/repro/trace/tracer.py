@@ -8,7 +8,7 @@ which is also safe (list.append is atomic and each list has one writer).
 
 from __future__ import annotations
 
-from repro.trace.events import CommEvent, ComputeEvent, Event
+from repro.trace.events import CommEvent, ComputeEvent, Event, MatchEvent
 
 
 class Tracer:
@@ -47,6 +47,29 @@ class Tracer:
     def compute(self, rank: int, flops: float, label: str, start: float, end: float) -> None:
         self.record(
             ComputeEvent(rank=rank, start=start, end=end, flops=flops, label=label)
+        )
+
+    def match(
+        self,
+        rank: int,
+        clock: float,
+        source: int,
+        tag: int,
+        wildcard_source: bool,
+        wildcard_tag: bool,
+        candidates: tuple[int, ...],
+    ) -> None:
+        self.record(
+            MatchEvent(
+                rank=rank,
+                start=clock,
+                end=clock,
+                source=source,
+                tag=tag,
+                wildcard_source=wildcard_source,
+                wildcard_tag=wildcard_tag,
+                candidates=candidates,
+            )
         )
 
     def events_for(self, rank: int) -> list[Event]:

@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro.verify``.
+
+Runs the schedule-fuzzing suite over the paper's flagship applications
+(one-deep mergesort, 2-D FFT, Jacobi Poisson) plus the intentionally
+racy positive controls, and exits nonzero when anything unexpected is
+found:
+
+- a *clean* application diverging under any seed (nondeterminism bug), or
+- a *racy* control **not** being detected (fuzzer regression).
+
+``--smoke`` uses 4 seeds and small inputs (the CI gate, well under a
+minute); the default is the acceptance sweep with 16 seeds.  ``--replay
+SEED --program NAME`` re-runs one seed of one program and prints its
+digests — the debugging workflow once a finding names a seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.verify.demo import racy_first_arrival, racy_float_reduction
+from repro.verify.explorer import ScheduleExplorer
+
+
+def _mergesort_explorer(nprocs: int = 4) -> ScheduleExplorer:
+    from repro.apps.sorting.mergesort import one_deep_mergesort
+
+    data = np.random.default_rng(0).integers(0, 10**6, size=2048)
+    return ScheduleExplorer(lambda: one_deep_mergesort().run(nprocs, data))
+
+
+def _fft2d_explorer(nprocs: int = 4) -> ScheduleExplorer:
+    from repro.apps.fft2d import fft2d_archetype
+
+    rng = np.random.default_rng(1)
+    arr = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
+    return ScheduleExplorer(lambda: fft2d_archetype().run(nprocs, arr, 1))
+
+
+def _poisson_explorer(nprocs: int = 4) -> ScheduleExplorer:
+    from repro.apps.poisson import poisson_archetype
+
+    return ScheduleExplorer(
+        lambda: poisson_archetype().run(nprocs, 12, 12, tolerance=1e-3)
+    )
+
+
+def _racy_arrival_explorer(nprocs: int = 4) -> ScheduleExplorer:
+    return ScheduleExplorer.for_body(nprocs, racy_first_arrival)
+
+
+def _racy_reduction_explorer(nprocs: int = 5) -> ScheduleExplorer:
+    return ScheduleExplorer.for_body(nprocs, racy_float_reduction)
+
+
+#: name -> (explorer factory, races expected?)
+PROGRAMS: dict[str, tuple[Callable[[], ScheduleExplorer], bool]] = {
+    "mergesort": (_mergesort_explorer, False),
+    "fft2d": (_fft2d_explorer, False),
+    "poisson": (_poisson_explorer, False),
+    "racy-arrival": (_racy_arrival_explorer, True),
+    "racy-reduction": (_racy_reduction_explorer, True),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="schedule-fuzz the application suite and its racy controls",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="fast CI gate: 4 seeds per program"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=16, help="seeds per program (default 16)"
+    )
+    parser.add_argument(
+        "--program",
+        choices=sorted(PROGRAMS),
+        action="append",
+        help="restrict to one program (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--replay", type=int, default=None, metavar="SEED",
+        help="re-run one seed of --program and print its digests",
+    )
+    args = parser.parse_args(argv)
+    seeds = 4 if args.smoke else args.seeds
+    names = args.program or sorted(PROGRAMS)
+
+    if args.replay is not None:
+        if len(names) != 1:
+            parser.error("--replay requires exactly one --program")
+        explorer, _ = PROGRAMS[names[0]][0](), PROGRAMS[names[0]][1]
+        result = explorer.replay(args.replay)
+        print(f"{names[0]} seed {args.replay} digests:")
+        for rank, digest in enumerate(explorer.digests(result)):
+            print(f"  rank {rank}: {digest}")
+        return 0
+
+    failed = False
+    for name in names:
+        factory, racy = PROGRAMS[name]
+        report = factory().explore(seeds)
+        verdict = "ok"
+        if racy and report.ok:
+            verdict = "FAIL (race went undetected)"
+            failed = True
+        elif not racy and not report.ok:
+            verdict = "FAIL (nondeterminism)"
+            failed = True
+        elif racy:
+            verdict = f"ok (detected, e.g. seed {report.findings[0].seed})"
+        expectation = "expect divergence" if racy else "expect clean"
+        print(f"[{name}] {seeds} seeds, {expectation}: {verdict}")
+        if not racy and not report.ok:
+            print(report.summary())
+    print("chaos suite:", "FAILED" if failed else "passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

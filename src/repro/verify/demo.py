@@ -1,0 +1,54 @@
+"""Intentionally racy demo programs the verifier must catch.
+
+These are the verifier's own positive controls: programs whose result
+depends on message arrival order.  The test suite and the ``--smoke``
+entry point assert that :class:`~repro.verify.explorer.ScheduleExplorer`
+flags them with a replayable seed — if the fuzzer ever stops finding
+these, it is broken.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.message import ANY_SOURCE
+
+#: tag used by the demo programs
+DEMO_TAG = 7
+
+
+def racy_first_arrival(comm: Any) -> int | None:
+    """Rank 0 returns the *source* of whichever worker message a wildcard
+    receive matches first — a textbook arrival-order race.
+
+    Every rank > 0 sends its rank id to rank 0; rank 0 drains them with
+    wildcard receives and returns the first sender it happened to see.
+    Under the deterministic backend this is always the same rank; under
+    schedule fuzzing it varies with the seed, so the explorer reports a
+    nondeterminism finding *and* the race detector flags the wildcard
+    receive whenever more than one message was pending.
+    """
+    if comm.rank == 0:
+        first = comm.recv_msg(ANY_SOURCE, tag=DEMO_TAG)
+        for _ in range(comm.size - 2):
+            comm.recv_msg(ANY_SOURCE, tag=DEMO_TAG)
+        return first.source
+    comm.send(0, comm.rank, tag=DEMO_TAG)
+    return None
+
+
+def racy_float_reduction(comm: Any) -> float | None:
+    """Rank 0 folds worker contributions in arrival order — the classic
+    nonassociative floating-point reduction race.
+
+    Each worker sends ``(0.1 + rank) ** 3``; rank 0 adds them in the
+    order received.  Floating-point addition is not associative, so the
+    sum's low bits depend on the schedule.
+    """
+    if comm.rank == 0:
+        acc = 0.0
+        for _ in range(comm.size - 1):
+            acc += comm.recv(ANY_SOURCE, tag=DEMO_TAG)
+        return acc
+    comm.send(0, (0.1 + comm.rank) ** 3, tag=DEMO_TAG)
+    return None

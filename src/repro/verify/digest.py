@@ -1,0 +1,73 @@
+"""Stable digests of per-rank results.
+
+A digest is a SHA-256 over a canonical byte encoding of a value, built so
+that two runs produce the same digest iff they produced the same result:
+container structure, numpy dtype/shape/contents, and scalar types all
+feed the hash.  Digests (not the values themselves) are what the
+:class:`~repro.verify.explorer.ScheduleExplorer` compares across seeds,
+so divergence reports stay small even for large arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+
+def value_digest(value: Any) -> str:
+    """Hex SHA-256 of *value*'s canonical encoding."""
+    h = hashlib.sha256()
+    _feed(h, value)
+    return h.hexdigest()
+
+
+def _feed(h: "hashlib._Hash", value: Any) -> None:
+    # Each branch writes a type marker before the payload so that e.g.
+    # the string "1" and the int 1 cannot collide.
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"B" + (b"1" if value else b"0"))
+    elif isinstance(value, int):
+        h.update(b"I" + str(value).encode())
+    elif isinstance(value, float):
+        h.update(b"F" + repr(value).encode())
+    elif isinstance(value, complex):
+        h.update(b"C" + repr(value).encode())
+    elif isinstance(value, str):
+        h.update(b"S" + value.encode())
+    elif isinstance(value, bytes):
+        h.update(b"Y" + value)
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        h.update(b"A" + arr.dtype.str.encode() + repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(value, np.generic):
+        h.update(b"G" + value.dtype.str.encode())
+        h.update(value.tobytes())
+    elif isinstance(value, (list, tuple)):
+        h.update(b"L" if isinstance(value, list) else b"T")
+        h.update(str(len(value)).encode())
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, dict):
+        h.update(b"D" + str(len(value)).encode())
+        # Canonical order: keys sorted by their own digest, so insertion
+        # order (which a schedule could influence) never matters.
+        for key, item in sorted(value.items(), key=lambda kv: value_digest(kv[0])):
+            _feed(h, key)
+            _feed(h, item)
+    elif isinstance(value, (set, frozenset)):
+        h.update(b"E" + str(len(value)).encode())
+        for d in sorted(value_digest(item) for item in value):
+            h.update(d.encode())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        h.update(b"O" + type(value).__qualname__.encode())
+        for f in dataclasses.fields(value):
+            h.update(f.name.encode())
+            _feed(h, getattr(value, f.name))
+    else:
+        h.update(b"R" + repr(value).encode())

@@ -1,0 +1,75 @@
+"""Wildcard-receive race detection over recorded traces.
+
+The fuzzed backend records a :class:`~repro.trace.events.MatchEvent` for
+every wildcard receive it satisfies, including the set of source ranks
+whose oldest pending message could legally have matched at that moment.
+When that set has more than one element, the receive is *racy*: which
+message it returns depends on arrival order, i.e. on the schedule.  That
+is not automatically a bug — a work-pool master taking results in any
+order is racy by design — but a racy receive feeding a
+schedule-dependent result is exactly how nondeterminism findings arise,
+so the explorer reports both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.spmd import RunResult
+from repro.trace.events import MatchEvent
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One wildcard receive observed with multiple legal matches."""
+
+    #: seed of the fuzzed run the race was observed under
+    seed: int
+    #: receiving rank
+    rank: int
+    #: virtual time of the match decision
+    clock: float
+    #: tag of the message actually taken
+    tag: int
+    #: source rank actually taken
+    chosen: int
+    #: sorted distinct source ranks that could have matched
+    candidates: tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"seed {self.seed}: rank {self.rank} wildcard recv at t={self.clock:.6g}s "
+            f"took source {self.chosen} (tag {self.tag}) but any of "
+            f"{list(self.candidates)} could have matched"
+        )
+
+
+def scan_races(result: RunResult, seed: int) -> list[RaceFinding]:
+    """Extract wildcard races from a traced (fuzzed) run.
+
+    Returns an empty list when the run was not traced.  Only receives
+    with a wildcard *source* and more than one candidate source are
+    races; a wildcard tag with a single source still matches in FIFO
+    order, which the schedule cannot change.
+    """
+    if result.tracer is None:
+        return []
+    findings: list[RaceFinding] = []
+    for rank_events in result.tracer.events:
+        for event in rank_events:
+            if (
+                isinstance(event, MatchEvent)
+                and event.wildcard_source
+                and len(event.candidates) > 1
+            ):
+                findings.append(
+                    RaceFinding(
+                        seed=seed,
+                        rank=event.rank,
+                        clock=event.start,
+                        tag=event.tag,
+                        chosen=event.source,
+                        candidates=event.candidates,
+                    )
+                )
+    return findings

@@ -1,4 +1,12 @@
-"""Shared test fixtures and helpers."""
+"""Shared test fixtures and helpers.
+
+Schedule fuzzing: marking a test ``@pytest.mark.chaos`` re-runs it once
+per seed with every ``backend="deterministic"`` run inside it promoted to
+the seeded :class:`~repro.runtime.scheduler.FuzzedBackend` (via
+:func:`repro.verify.fuzzed_schedule`), so the test's own assertions check
+schedule-independence.  ``--chaos-seeds=N`` sets the seed count globally;
+``@pytest.mark.chaos(seeds=K)`` raises it per test (the larger wins).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,43 @@ import pytest
 
 from repro import spmd_run
 from repro.machines.catalog import IDEAL
+from repro.verify import fuzzed_schedule
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--chaos-seeds",
+        type=int,
+        default=4,
+        metavar="N",
+        help="seeds per @pytest.mark.chaos test (default 4)",
+    )
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    marker = metafunc.definition.get_closest_marker("chaos")
+    if marker is None:
+        return
+    n = max(
+        int(marker.kwargs.get("seeds", 0)),
+        metafunc.config.getoption("--chaos-seeds"),
+    )
+    # _chaos_seed is autouse, so it is always parametrisable even though
+    # the test function never names it.
+    metafunc.parametrize(
+        "_chaos_seed", range(n), indirect=True, ids=[f"seed{s}" for s in range(n)]
+    )
+
+
+@pytest.fixture(autouse=True)
+def _chaos_seed(request: pytest.FixtureRequest):
+    """Under the ``chaos`` marker, wrap the test in a fuzzed schedule."""
+    if request.node.get_closest_marker("chaos") is None:
+        yield None
+        return
+    seed = getattr(request, "param", 0)
+    with fuzzed_schedule(seed):
+        yield seed
 
 
 @pytest.fixture

@@ -227,6 +227,7 @@ class TestScan:
 
 
 class TestCollectiveSequences:
+    @pytest.mark.chaos(seeds=8)
     def test_many_collectives_in_order(self, backend):
         """A realistic sequence exercises the collective tag discipline."""
 

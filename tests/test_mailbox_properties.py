@@ -1,0 +1,173 @@
+"""Property-based Mailbox tests (seeded stdlib ``random``).
+
+Each property generates a randomized stream of messages and receive
+patterns from ``random.Random(seed)`` and checks the matching invariants
+the runtime's correctness rests on:
+
+- match order is by earliest virtual arrival (ties by source, then seq),
+  independent of delivery order;
+- wildcard source/tag patterns match exactly the envelope predicate;
+- FIFO per (source, tag): same-channel messages are always taken in send
+  order, under any receive pattern that matches them;
+- ``has_match``/``take_match``/``match_indices`` agree with each other.
+"""
+
+import random
+
+import pytest
+
+from repro.runtime.mailbox import Mailbox
+from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
+
+SEEDS = range(20)
+
+
+def _random_messages(rng: random.Random, n: int) -> list[Message]:
+    """A legal message population: per-source seq strictly increasing and
+    arrival nondecreasing in seq (clocks are monotonic)."""
+    seq_of: dict[int, int] = {}
+    clock_of: dict[int, float] = {}
+    out = []
+    for _ in range(n):
+        source = rng.randrange(4)
+        seq_of[source] = seq_of.get(source, 0) + 1
+        clock_of[source] = clock_of.get(source, 0.0) + rng.random()
+        out.append(
+            Message(
+                source=source,
+                dest=0,
+                tag=rng.randrange(3),
+                payload=None,
+                nbytes=8,
+                arrival=clock_of[source],
+                seq=seq_of[source],
+            )
+        )
+    return out
+
+
+def _drain(mailbox: Mailbox, source: int, tag: int) -> list[Message]:
+    out = []
+    while True:
+        msg = mailbox.take_match(source, tag)
+        if msg is None:
+            return out
+        out.append(msg)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_match_order_is_arrival_order_regardless_of_delivery_order(seed):
+    rng = random.Random(seed)
+    msgs = _random_messages(rng, 30)
+    delivery = msgs[:]
+    rng.shuffle(delivery)  # delivery order ≠ send order
+    mailbox = Mailbox()
+    for m in delivery:
+        mailbox.put(m)
+    drained = _drain(mailbox, ANY_SOURCE, ANY_TAG)
+    keys = [(m.arrival, m.source, m.seq) for m in drained]
+    assert keys == sorted(keys), "wildcard drain not in (arrival, source, seq) order"
+    assert len(drained) == len(msgs)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wildcard_patterns_match_exactly_the_predicate(seed):
+    rng = random.Random(seed)
+    msgs = _random_messages(rng, 25)
+    for pattern_source in (ANY_SOURCE, 0, 1, 2, 3):
+        for pattern_tag in (ANY_TAG, 0, 1, 2):
+            mailbox = Mailbox()
+            for m in msgs:
+                mailbox.put(m)
+            expected = [
+                m
+                for m in msgs
+                if (pattern_source in (ANY_SOURCE, m.source))
+                and (pattern_tag in (ANY_TAG, m.tag))
+            ]
+            assert mailbox.has_match(pattern_source, pattern_tag) == bool(expected)
+            assert len(mailbox.match_indices(pattern_source, pattern_tag)) == len(
+                expected
+            )
+            drained = _drain(mailbox, pattern_source, pattern_tag)
+            assert sorted((m.source, m.seq) for m in drained) == sorted(
+                (m.source, m.seq) for m in expected
+            )
+            # Non-matching messages must all still be pending.
+            assert len(mailbox) == len(msgs) - len(expected)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fifo_per_source_and_tag(seed):
+    """Under a random interleaving of receives (random legal patterns),
+    messages on one (source, tag) channel come out in send order."""
+    rng = random.Random(seed)
+    msgs = _random_messages(rng, 40)
+    mailbox = Mailbox()
+    for m in msgs:
+        mailbox.put(m)
+    taken: list[Message] = []
+    while len(mailbox):
+        source = rng.choice([ANY_SOURCE, 0, 1, 2, 3])
+        tag = rng.choice([ANY_TAG, 0, 1, 2])
+        msg = mailbox.take_match(source, tag)
+        if msg is not None:
+            taken.append(msg)
+    per_channel: dict[tuple[int, int], list[int]] = {}
+    for m in taken:
+        per_channel.setdefault((m.source, m.tag), []).append(m.seq)
+    for channel, seqs in per_channel.items():
+        assert seqs == sorted(seqs), f"channel {channel} violated FIFO: {seqs}"
+    assert len(taken) == len(msgs)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_take_match_agrees_with_match_indices(seed):
+    rng = random.Random(seed)
+    msgs = _random_messages(rng, 20)
+    mailbox = Mailbox()
+    for m in msgs:
+        mailbox.put(m)
+    for _ in range(60):
+        source = rng.choice([ANY_SOURCE, 0, 1, 2, 3])
+        tag = rng.choice([ANY_TAG, 0, 1, 2])
+        indices = mailbox.match_indices(source, tag)
+        assert mailbox.has_match(source, tag) == bool(indices)
+        if indices:
+            # take_match must return one of the enumerated candidates —
+            # specifically the earliest-arriving one.
+            candidates = [mailbox.peek_at(i) for i in indices]
+            best = min(candidates, key=lambda m: (m.arrival, m.source, m.seq))
+            msg = mailbox.take_match(source, tag)
+            assert msg is best
+        if not len(mailbox):
+            break
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ctx_isolation(seed):
+    """Messages of one communication context are invisible to another's
+    receives, wildcards included."""
+    rng = random.Random(seed)
+    mailbox = Mailbox()
+    counts = {0: 0, 1: 0}
+    for i in range(20):
+        ctx = rng.randrange(2)
+        counts[ctx] += 1
+        mailbox.put(
+            Message(
+                source=rng.randrange(3),
+                dest=0,
+                tag=0,
+                payload=None,
+                nbytes=8,
+                arrival=float(i),
+                seq=i,
+                ctx=ctx,
+            )
+        )
+    for ctx, expected in counts.items():
+        got = 0
+        while mailbox.take_match(ANY_SOURCE, ANY_TAG, ctx) is not None:
+            got += 1
+        assert got == expected

@@ -61,6 +61,7 @@ class TestPointOp:
 
 
 class TestStencilOp:
+    @pytest.mark.chaos(seeds=8)
     @pytest.mark.parametrize("p", [1, 2, 4])
     def test_five_point_average(self, p):
         full = np.arange(64.0).reshape(8, 8)

@@ -95,6 +95,7 @@ class TestSkeletonMechanics:
 
 
 class TestStrategies:
+    @pytest.mark.chaos(seeds=8)
     @pytest.mark.parametrize("strategy", ["master", "replicated"])
     def test_both_strategies_agree(self, strategy, rng):
         from repro.apps.sorting import one_deep_mergesort

@@ -39,6 +39,7 @@ def _check_redistribution(nprocs, shape, make_old, make_new):
 
 
 class TestRowsColumns:
+    @pytest.mark.chaos(seeds=8)
     @pytest.mark.parametrize("p", [1, 2, 3, 4, 6])
     def test_rows_to_cols(self, p):
         _check_redistribution(p, (6, 8), row_layout, col_layout)

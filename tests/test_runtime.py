@@ -232,3 +232,65 @@ class TestBackendEquivalence:
             return comm.recv(tag=4)
 
         run_both_backends(4, body)
+
+
+class TestClockSourceContract:
+    """Regression for the set_clock_source contract: the virtual-clock
+    accessor drives scheduling only on the run-to-block backends.  The
+    threaded backend interleaves in wall-clock order and must never
+    consult it (its docstring now documents exactly that)."""
+
+    @staticmethod
+    def _ping(backend_obj):
+        """Minimal two-rank exchange exercising a scheduling decision."""
+
+        def body0():
+            backend_obj.deliver(
+                Message(
+                    source=0, dest=1, tag=0, payload="x", nbytes=1, arrival=0.0, seq=1
+                )
+            )
+
+        def body1():
+            backend_obj.wait_for_match(1, 0, 0, 0, "recv(source=0, tag=0)")
+
+        return [body0, body1]
+
+    def test_deterministic_consults_accessor(self):
+        from repro.runtime.scheduler import DeterministicBackend
+
+        calls = []
+        engine = DeterministicBackend(2)
+        engine.set_clock_source(lambda rank: calls.append(rank) or 0.0)
+        engine.run(self._ping(engine))
+        assert calls, "deterministic backend never read the clock source"
+
+    def test_fuzzed_consults_accessor(self):
+        from repro.runtime.scheduler import FuzzedBackend
+
+        calls = []
+        engine = FuzzedBackend(2, seed=0)
+        engine.set_clock_source(lambda rank: calls.append(rank) or 0.0)
+        engine.run(self._ping(engine))
+        assert calls, "fuzzed backend never read the clock source"
+
+    def test_threaded_ignores_accessor(self):
+        from repro.runtime.scheduler import ThreadedBackend
+
+        calls = []
+        engine = ThreadedBackend(2, deadlock_timeout=5.0)
+        engine.set_clock_source(lambda rank: calls.append(rank) or 0.0)
+        engine.run(self._ping(engine))
+        assert calls == [], "threaded backend consulted the (ignored) clock source"
+
+    def test_deterministic_schedules_in_virtual_time_order(self):
+        """The rank furthest behind in virtual time runs first: with
+        rank 0's clock ahead of rank 1's, rank 1's body completes before
+        rank 0's even though rank 0 has the lower id."""
+        from repro.runtime.scheduler import DeterministicBackend
+
+        order = []
+        engine = DeterministicBackend(2)
+        engine.set_clock_source(lambda rank: [5.0, 1.0][rank])
+        engine.run([lambda: order.append(0), lambda: order.append(1)])
+        assert order == [1, 0]
