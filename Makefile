@@ -3,12 +3,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench
+.PHONY: verify test obs-smoke chaos bench
+
+# Default gate: tier-1 tests plus the observability smoke check.
+verify: test obs-smoke
 
 # Tier-1 gate: the full suite (includes the chaos-marked tests at the
 # default 4 seeds and the verify subsystem's own tests) — stays fast.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Observability smoke: trace a small Poisson + mergesort run, export
+# Chrome/Perfetto trace JSON, validate it against the trace-event
+# structure, and check the critical-path invariant (path == makespan).
+obs-smoke:
+	$(PYTHON) -m repro.obs --smoke
 
 # The chaos suite on its own: the 4-seed smoke sweep over the flagship
 # apps + racy controls, then every @pytest.mark.chaos test.
@@ -16,5 +25,6 @@ chaos:
 	$(PYTHON) -m repro.verify --smoke
 	$(PYTHON) -m pytest -q -m chaos
 
+# Reduced-scale sweep over every figure; writes BENCH_PR2.json.
 bench:
-	$(PYTHON) -m repro.bench --help
+	$(PYTHON) -m repro.bench all

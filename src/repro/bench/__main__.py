@@ -4,11 +4,16 @@ Usage::
 
     python -m repro.bench fig06            # Figure 6 at default scale
     python -m repro.bench fig17 --json out.json
+    python -m repro.bench all              # every figure, reduced scale,
+                                           #   writes BENCH_PR2.json
     python -m repro.bench list
 
 Each figure command runs the corresponding experiment, prints the
 speedup table and an ASCII plot, and optionally writes the series as
-JSON.
+JSON.  ``all`` sweeps every figure at a reduced problem scale and emits
+a machine-readable artifact (``BENCH_PR2.json``: per-figure predicted
+times, speedups, and machine name) so the performance trajectory can be
+tracked across PRs.
 """
 
 from __future__ import annotations
@@ -30,6 +35,31 @@ FIGURES = {
     "fig18": (figures.figure18_spectral, "spectral flow vs 5-proc base (IBM SP)"),
 }
 
+#: default output of ``python -m repro.bench all``
+ARTIFACT = "BENCH_PR2.json"
+
+#: machine model each figure runs on (matches the figure defaults)
+FIGURE_MACHINES = {
+    "fig06": "intel-delta",
+    "fig12": "ibm-sp",
+    "fig15": "ibm-sp",
+    "fig16": "intel-delta",
+    "fig17": "ibm-sp",
+    "fig18": "ibm-sp-small-mem",
+}
+
+#: reduced problem scales for the ``all`` sweep — the same sizes the test
+#: suite exercises, so the sweep finishes in seconds while preserving
+#: every figure's shape claim
+FAST_PARAMS: dict[str, dict] = {
+    "fig06": {"n": 1 << 14, "procs": (1, 4, 16)},
+    "fig12": {"shape": (64, 64), "repeats": 2, "procs": (1, 4, 16)},
+    "fig15": {"nx": 128, "ny": 128, "iters": 5, "procs": (1, 4, 16)},
+    "fig16": {"nx": 128, "ny": 128, "steps": 2, "procs": (1, 4, 16)},
+    "fig17": {"n": 16, "steps": 2, "procs": (1, 8, 16, 18)},
+    "fig18": {"nr": 128, "nz": 256, "steps": 1, "procs": (5, 10, 20), "base_procs": 5},
+}
+
 
 def curves_to_json(curves: list[SpeedupCurve]) -> list[dict]:
     return [
@@ -44,6 +74,31 @@ def curves_to_json(curves: list[SpeedupCurve]) -> list[dict]:
     ]
 
 
+def run_all(json_path: str) -> int:
+    """Sweep every figure at reduced scale and write the JSON artifact."""
+    report: dict = {"artifact": "BENCH_PR2", "figures": {}}
+    for name, (experiment, description) in FIGURES.items():
+        curves = experiment(**FAST_PARAMS[name])
+        entry = {
+            "description": description,
+            "machine": FIGURE_MACHINES[name],
+            "params": {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in FAST_PARAMS[name].items()
+            },
+            "curves": curves_to_json(curves),
+        }
+        report["figures"][name] = entry
+        peaks = ", ".join(
+            f"{c.label}: {c.peak().speedup:.2f}x @ P={c.peak().procs}" for c in curves
+        )
+        print(f"{name} [{entry['machine']}] {description} — {peaks}")
+    with open(json_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"\nartifact written to {json_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -51,8 +106,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[*FIGURES, "list"],
-        help="figure to regenerate, or 'list' to enumerate them",
+        choices=[*FIGURES, "all", "list"],
+        help="figure to regenerate, 'all' for the reduced-scale sweep "
+        f"(writes {ARTIFACT}), or 'list' to enumerate them",
     )
     parser.add_argument("--json", metavar="PATH", help="also write the series as JSON")
     parser.add_argument(
@@ -64,6 +120,9 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, description) in FIGURES.items():
             print(f"  {name}: {description}")
         return 0
+
+    if args.figure == "all":
+        return run_all(args.json or ARTIFACT)
 
     experiment, description = FIGURES[args.figure]
     curves = experiment()

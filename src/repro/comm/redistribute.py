@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import DistributionError
 from repro.comm.communicator import Comm
 from repro.comm.layout import Layout, Rect
+from repro.obs.metrics import COUNT_BUCKETS, get_registry
 
 
 def _intersect(a: Rect, b: Rect) -> Rect | None:
@@ -64,8 +65,11 @@ def redistribute(
             f"old layout section {old.shape(comm.rank)}"
         )
 
+    entry_clock = comm.clock
     # Build one parcel per destination: list of (global_rect, block) pieces.
     outgoing: list[list[tuple[Rect, np.ndarray]] | None] = []
+    parcels = 0
+    parcel_bytes = 0
     for dest in range(comm.size):
         overlap = _intersect(my_old, new.rect(dest))
         if overlap is None:
@@ -73,8 +77,27 @@ def redistribute(
         else:
             piece = np.ascontiguousarray(local[_local_slices(overlap, my_old)])
             outgoing.append([(overlap, piece)])
+            parcels += 1
+            parcel_bytes += piece.nbytes
 
     incoming = comm.alltoall(outgoing)
+
+    registry = get_registry()
+    registry.counter(
+        "comm.redistribute.calls", help="layout redistributions performed"
+    ).inc()
+    registry.counter(
+        "comm.redistribute.bytes", help="payload bytes shipped by redistributions"
+    ).inc(parcel_bytes)
+    registry.histogram(
+        "comm.redistribute.parcels",
+        buckets=COUNT_BUCKETS,
+        help="non-empty parcels sent per rank per redistribution",
+    ).observe(parcels)
+    registry.histogram(
+        "comm.redistribute.virtual_seconds",
+        help="per-rank virtual time inside the redistribution exchange",
+    ).observe(comm.clock - entry_clock)
 
     my_new = new.rect(comm.rank)
     out = np.empty(new.shape(comm.rank), dtype=local.dtype)

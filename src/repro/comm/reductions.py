@@ -17,6 +17,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 
 @dataclass(frozen=True)
 class Op:
@@ -31,6 +33,14 @@ class Op:
     commutative: bool = True
 
     def __call__(self, a: Any, b: Any) -> Any:
+        registry = get_registry()
+        registry.counter(
+            "comm.reductions.applies", help="binary reduction-operator applications"
+        ).inc()
+        registry.counter(
+            f"comm.reductions.applies.{self.name}",
+            help=f"applications of the {self.name!r} operator",
+        ).inc()
         return self.fn(a, b)
 
 

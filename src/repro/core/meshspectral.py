@@ -23,6 +23,7 @@ Programs are written against a :class:`MeshContext`; the
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Callable
 from pathlib import Path
 from typing import Any
@@ -35,6 +36,27 @@ from repro.comm.reductions import MAX, MIN, SUM, Op
 from repro.core.archetype import Archetype
 from repro.core.globals import GlobalVar
 from repro.core.grid import DistGrid
+from repro.obs.metrics import get_registry
+
+
+def _instrumented(method):
+    """Record one ``core.mesh.<op>`` count and the op's virtual duration."""
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        entry = self.comm.clock
+        result = method(self, *args, **kwargs)
+        registry = get_registry()
+        registry.counter(
+            f"core.mesh.{name}", help=f"mesh-spectral {name} operations"
+        ).inc()
+        registry.histogram(
+            "core.mesh.op_seconds", help="per-rank virtual time inside a mesh op"
+        ).observe(self.comm.clock - entry)
+        return result
+
+    return wrapper
 
 
 class StencilView:
@@ -111,6 +133,7 @@ class MeshContext:
         return GlobalVar(self.comm, value, sync=sync)
 
     # -- grid operations --------------------------------------------------------
+    @_instrumented
     def point_op(
         self,
         fn: Callable[..., None],
@@ -132,6 +155,7 @@ class MeshContext:
             self.comm.charge(flops_per_point * out.interior.size, label=label, working_set_bytes=self.working_set)
         fn(out.interior, *views)
 
+    @_instrumented
     def stencil_op(
         self,
         fn: Callable[..., None],
@@ -183,6 +207,7 @@ class MeshContext:
                 "Figure 7 pattern) via MeshContext.redistribute"
             )
 
+    @_instrumented
     def row_op(
         self,
         fn: Callable[[np.ndarray], np.ndarray | None],
@@ -205,6 +230,7 @@ class MeshContext:
         if result is not None:
             block[...] = result
 
+    @_instrumented
     def col_op(
         self,
         fn: Callable[[np.ndarray], np.ndarray | None],
@@ -230,6 +256,7 @@ class MeshContext:
             )
         block[...] = result.T
 
+    @_instrumented
     def axis_op(
         self,
         fn: Callable[[np.ndarray], np.ndarray],
@@ -265,6 +292,7 @@ class MeshContext:
             )
         block[...] = np.moveaxis(result, -1, axis)
 
+    @_instrumented
     def redistribute(self, grid: DistGrid, dist: str | tuple[int, ...]) -> DistGrid:
         """Move a grid to a different distribution (paper Figure 7)."""
         return grid.redistributed(dist)
@@ -275,6 +303,7 @@ class MeshContext:
         holds the identical result."""
         return self.comm.allreduce(local, op)
 
+    @_instrumented
     def grid_reduce(
         self,
         grid: DistGrid,
@@ -300,6 +329,7 @@ class MeshContext:
             )
         return self.reduce(local, op)
 
+    @_instrumented
     def max_abs_diff(self, a: DistGrid, b: DistGrid) -> float:
         """Convergence helper: global max |a - b| over owned interiors."""
         self._check_compatible(a, (b,))

@@ -36,7 +36,19 @@ from typing import Any
 from repro.errors import ArchetypeError
 from repro.comm.communicator import Comm
 from repro.core.archetype import Archetype
+from repro.obs.metrics import get_registry
 from repro.util.partition import split_evenly
+
+
+def _record_phase(comm: Comm, label: str, entry_clock: float) -> None:
+    """Metrics for one completed phase on one rank (counter + duration)."""
+    registry = get_registry()
+    registry.counter(
+        f"core.onedeep.phase.{label}", help=f"one-deep {label} phases completed"
+    ).inc()
+    registry.histogram(
+        "core.onedeep.phase_seconds", help="per-rank virtual time inside a phase"
+    ).observe(comm.clock - entry_clock)
 
 
 class SplitterStrategy(str, enum.Enum):
@@ -147,12 +159,18 @@ class OneDeepDC(Archetype):
         """Per-rank skeleton: [split] -> solve -> [merge]."""
         local = sections[comm.rank]
         if self.split is not None:
+            entry = comm.clock
             local = self._phase(comm, self.split, local, label="split")
+            _record_phase(comm, "split", entry)
+        entry = comm.clock
         if self.solve_cost is not None:
             comm.charge(self.solve_cost(local), label="solve")
         sub = self.solve(local)
+        _record_phase(comm, "solve", entry)
         if self.merge is not None:
+            entry = comm.clock
             sub = self._phase(comm, self.merge, sub, label="merge")
+            _record_phase(comm, "merge", entry)
         return sub
 
     def _phase(self, comm: Comm, spec: PhaseSpec, local: Any, label: str) -> Any:

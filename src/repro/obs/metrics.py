@@ -1,0 +1,262 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately minimal — no labels, no exporters, no
+background threads — because its job is introspection of a simulation
+running in-process: the instrumented choke points (scheduler, mailbox,
+collectives, archetype phases) record *what the runtime did*, and the
+``python -m repro.obs`` CLI or a test reads the numbers back.
+
+A process-wide default registry is always available via
+:func:`get_registry`; instrumentation sites call
+``get_registry().counter("...").inc()`` so that tests can swap in a
+fresh registry with :func:`scoped_registry` and observe one run in
+isolation.  All instruments are thread-safe (ranks run on threads).
+
+This module sits below :mod:`repro.runtime` in the layering: it imports
+nothing from the rest of the package, so the runtime can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections.abc import Iterator, Sequence
+
+#: default histogram buckets for virtual-time observations (seconds):
+#: one decade per bucket from 1 microsecond to 100 seconds
+TIME_BUCKETS: tuple[float, ...] = tuple(10.0**e for e in range(-6, 3))
+
+#: default histogram buckets for small cardinalities (queue depths,
+#: parcel counts): powers of two up to 1024
+COUNT_BUCKETS: tuple[float, ...] = tuple(float(1 << e) for e in range(11))
+
+
+class MetricsError(ValueError):
+    """Invalid use of the metrics registry (name/type conflicts, bad values)."""
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. instantaneous queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """A fixed-bucket histogram of observations.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing order;
+    an implicit +inf bucket catches the overflow.  Tracks count, sum,
+    min, and max alongside the per-bucket counts.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float] = TIME_BUCKETS, help: str = ""):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(later <= earlier for later, earlier in zip(bounds[1:], bounds)):
+            raise MetricsError(
+                f"histogram {name!r} buckets must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            i = 0
+            while i < len(self.buckets) and value > self.buckets[i]:
+                i += 1
+            self._counts[i] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def bucket_counts(self) -> list[int]:
+        """Counts per bucket; the last entry is the +inf overflow bucket."""
+        return list(self._counts)
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": dict(zip([*map(str, self.buckets), "+inf"], self._counts)),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create access.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when the name is already registered (raising on a kind mismatch), so
+    instrumentation sites never need to pre-declare anything.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = factory()
+                self._instruments[name] = inst
+            elif inst.kind != kind:
+                raise MetricsError(
+                    f"metric {name!r} already registered as a {inst.kind}, "
+                    f"requested as a {kind}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = TIME_BUCKETS, help: str = ""
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, help), "histogram"
+        )
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under *name*, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh start for the next run)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-data view of every instrument, sorted by name."""
+        return {name: self._instruments[name].snapshot() for name in self.names()}
+
+    def render(self) -> str:
+        """Human-readable dump, one line per scalar and histogram."""
+        lines = []
+        for name in self.names():
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                lines.append(
+                    f"{name}: count={inst.count} sum={inst.sum:.6g} "
+                    f"mean={inst.mean:.6g}"
+                )
+            else:
+                value = inst.value
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"{name}: {shown}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry all instrumentation sites record into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextlib.contextmanager
+def scoped_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh (or given) registry for the duration of the block.
+
+    The isolation tool for tests and the CLI: everything the runtime
+    records inside the block lands in the scoped registry, and the
+    previous registry is restored on exit.
+    """
+    fresh = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)

@@ -1,0 +1,111 @@
+"""Canned traced workloads for the ``python -m repro.obs`` CLI.
+
+Each runner executes one archetype application with tracing on and
+returns the :class:`~repro.runtime.spmd.RunResult` together with the
+closed-form :mod:`repro.bench.predict` prediction for the same problem,
+so ``--compare-model`` can put measured and modelled times side by side.
+
+Problem sizes are deliberately small — these runs exist to produce
+traces worth looking at (and for the ``make obs-smoke`` gate), not to
+benchmark.  Use ``python -m repro.bench`` for the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.predict import predict_fft2d, predict_onedeep_sort, predict_poisson
+from repro.machines.model import MachineModel
+from repro.runtime.spmd import RunResult
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """One traced application run plus its analytic prediction."""
+
+    app: str
+    description: str
+    nprocs: int
+    result: RunResult
+    predicted: float
+
+    @property
+    def measured(self) -> float:
+        """The run's virtual makespan (seconds)."""
+        return self.result.elapsed
+
+
+def run_poisson(
+    nprocs: int, machine: MachineModel, nx: int = 48, ny: int = 48, iters: int = 8
+) -> WorkloadRun:
+    """Jacobi Poisson (mesh archetype) for a fixed iteration count."""
+    from repro.apps.poisson import poisson_archetype
+
+    result = poisson_archetype().run(
+        nprocs,
+        nx,
+        ny,
+        tolerance=0.0,
+        max_iters=iters,
+        gather_solution=False,
+        machine=machine,
+        trace=True,
+    )
+    return WorkloadRun(
+        app="poisson",
+        description=f"Jacobi Poisson {nx}x{ny}, {iters} iterations",
+        nprocs=nprocs,
+        result=result,
+        predicted=predict_poisson(nx, ny, iters, nprocs, machine),
+    )
+
+
+def run_mergesort(
+    nprocs: int, machine: MachineModel, n: int = 4096, seed: int = 0
+) -> WorkloadRun:
+    """One-deep mergesort (divide-and-conquer archetype)."""
+    from repro.apps.sorting.mergesort import one_deep_mergesort
+
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, np.iinfo(np.int64).max, size=n)
+    result = one_deep_mergesort().run(nprocs, data, machine=machine, trace=True)
+    return WorkloadRun(
+        app="mergesort",
+        description=f"one-deep mergesort of {n} keys",
+        nprocs=nprocs,
+        result=result,
+        predicted=predict_onedeep_sort(n, nprocs, machine),
+    )
+
+
+def run_fft2d(
+    nprocs: int,
+    machine: MachineModel,
+    rows: int = 32,
+    cols: int = 32,
+    repeats: int = 2,
+    seed: int = 0,
+) -> WorkloadRun:
+    """Distributed 2-D FFT (spectral archetype)."""
+    from repro.apps.fft2d import fft2d_archetype
+
+    rng = np.random.default_rng(seed)
+    array = rng.standard_normal((rows, cols))
+    result = fft2d_archetype().run(nprocs, array, repeats, machine=machine, trace=True)
+    return WorkloadRun(
+        app="fft2d",
+        description=f"2-D FFT {rows}x{cols}, {repeats} repeat(s)",
+        nprocs=nprocs,
+        result=result,
+        predicted=predict_fft2d(rows, cols, repeats, nprocs, machine),
+    )
+
+
+#: CLI application name -> runner
+WORKLOADS = {
+    "poisson": run_poisson,
+    "mergesort": run_mergesort,
+    "fft2d": run_fft2d,
+}

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs.metrics import COUNT_BUCKETS, get_registry
 from repro.runtime.message import Message
 
 
@@ -27,6 +28,15 @@ class Mailbox:
     def put(self, msg: Message) -> None:
         """Append a delivered message (delivery order == matching order)."""
         self._pending.append(msg)
+        registry = get_registry()
+        registry.counter(
+            "runtime.mailbox.enqueued", help="messages delivered to mailboxes"
+        ).inc()
+        registry.histogram(
+            "runtime.mailbox.depth",
+            buckets=COUNT_BUCKETS,
+            help="pending-queue depth observed at each delivery",
+        ).observe(len(self._pending))
 
     def has_match(self, source: int, tag: int, ctx: int = 0) -> bool:
         """True when a pending message matches the (source, tag, ctx) pattern."""
@@ -46,6 +56,9 @@ class Mailbox:
             return None
         msg = self._pending[best_i]
         del self._pending[best_i]
+        get_registry().counter(
+            "runtime.mailbox.matched", help="messages removed by a matching receive"
+        ).inc()
         return msg
 
     def match_indices(self, source: int, tag: int, ctx: int = 0) -> list[int]:
@@ -64,6 +77,9 @@ class Mailbox:
         """Remove and return the pending message at *index*."""
         msg = self._pending[index]
         del self._pending[index]
+        get_registry().counter(
+            "runtime.mailbox.matched", help="messages removed by a matching receive"
+        ).inc()
         return msg
 
     def snapshot(self) -> list[Message]:

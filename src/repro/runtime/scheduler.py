@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.errors import DeadlockError, InjectedFaultError, RankFailedError
+from repro.obs.metrics import get_registry
 from repro.runtime.mailbox import Mailbox
 from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
 
@@ -156,6 +157,9 @@ class DeterministicBackend(Backend):
     def _block(self, rank: int, predicate: Callable[[], bool], describe: str) -> None:
         if self._abort:
             raise _Aborted()
+        get_registry().counter(
+            "runtime.scheduler.blocks", help="ranks suspended awaiting a message"
+        ).inc()
         self._predicate[rank] = predicate
         self._describe[rank] = describe
         self._status[rank] = _Status.BLOCKED
@@ -193,9 +197,15 @@ class DeterministicBackend(Backend):
                         if self._status[r] == _Status.BLOCKED
                     }
                     detail = "; ".join(f"rank {r}: {d}" for r, d in waiting.items())
+                    get_registry().counter(
+                        "runtime.scheduler.deadlocks", help="runs aborted as deadlocked"
+                    ).inc()
                     raise DeadlockError(
                         f"no rank can make progress ({detail})", waiting=waiting
                     )
+                get_registry().counter(
+                    "runtime.scheduler.steps", help="run-to-block scheduling decisions"
+                ).inc()
                 self._status[nxt] = _Status.RUNNING
                 self._to_scheduler.clear()
                 self._resume[nxt].set()
@@ -500,6 +510,9 @@ class ThreadedBackend(Backend):
                 if self._failed.is_set():
                     raise _Aborted()
                 if waited >= self.deadlock_timeout:
+                    get_registry().counter(
+                        "runtime.scheduler.deadlocks", help="runs aborted as deadlocked"
+                    ).inc()
                     raise DeadlockError(
                         f"rank {rank} waited {waited:.1f}s for {describe}; "
                         "presumed deadlock",

@@ -16,6 +16,9 @@ class RankSummary:
     compute_time: float = 0.0
     send_time: float = 0.0
     recv_time: float = 0.0
+    #: virtual time with no event in progress: gaps between this rank's
+    #: events plus the tail from its last event to the run's makespan
+    idle_time: float = 0.0
     flops: float = 0.0
     messages_sent: int = 0
     messages_received: int = 0
@@ -40,6 +43,14 @@ class TraceSummary:
     @property
     def total_bytes(self) -> int:
         return sum(r.bytes_sent for r in self.ranks)
+
+    @property
+    def total_bytes_received(self) -> int:
+        return sum(r.bytes_received for r in self.ranks)
+
+    @property
+    def total_idle_time(self) -> float:
+        return sum(r.idle_time for r in self.ranks)
 
     @property
     def total_flops(self) -> float:
@@ -105,11 +116,24 @@ def render_gantt(
 
 
 def summarize(tracer: Tracer) -> TraceSummary:
-    """Reduce a tracer's event lists to a :class:`TraceSummary`."""
+    """Reduce a tracer's event lists to a :class:`TraceSummary`.
+
+    Idle time is derived from the gaps the event lists leave open: the
+    lead-in before a rank's first event, gaps between consecutive
+    events, and the tail from its last event to the run's makespan (the
+    latest end time across all ranks).
+    """
+    makespan = max(
+        (ev.end for rank in range(tracer.nprocs) for ev in tracer.events_for(rank)),
+        default=0.0,
+    )
     summary = TraceSummary()
     for rank in range(tracer.nprocs):
         rs = RankSummary(rank=rank)
+        cursor = 0.0
         for ev in tracer.events_for(rank):
+            rs.idle_time += max(ev.start - cursor, 0.0)
+            cursor = max(cursor, ev.end)
             if isinstance(ev, ComputeEvent):
                 rs.compute_time += ev.duration
                 rs.flops += ev.flops
@@ -122,5 +146,6 @@ def summarize(tracer: Tracer) -> TraceSummary:
                     rs.recv_time += ev.duration
                     rs.messages_received += 1
                     rs.bytes_received += ev.nbytes
+        rs.idle_time += max(makespan - cursor, 0.0)
         summary.ranks.append(rs)
     return summary

@@ -22,7 +22,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.verify.demo import racy_first_arrival, racy_float_reduction
+from repro.verify.demo import race_free_arrival, racy_first_arrival, racy_float_reduction
 from repro.verify.explorer import ScheduleExplorer
 
 
@@ -57,6 +57,10 @@ def _racy_reduction_explorer(nprocs: int = 5) -> ScheduleExplorer:
     return ScheduleExplorer.for_body(nprocs, racy_float_reduction)
 
 
+def _race_free_arrival_explorer(nprocs: int = 4) -> ScheduleExplorer:
+    return ScheduleExplorer.for_body(nprocs, race_free_arrival)
+
+
 #: name -> (explorer factory, races expected?)
 PROGRAMS: dict[str, tuple[Callable[[], ScheduleExplorer], bool]] = {
     "mergesort": (_mergesort_explorer, False),
@@ -64,6 +68,7 @@ PROGRAMS: dict[str, tuple[Callable[[], ScheduleExplorer], bool]] = {
     "poisson": (_poisson_explorer, False),
     "racy-arrival": (_racy_arrival_explorer, True),
     "racy-reduction": (_racy_reduction_explorer, True),
+    "race-free-arrival": (_race_free_arrival_explorer, False),
 }
 
 

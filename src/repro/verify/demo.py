@@ -1,10 +1,12 @@
-"""Intentionally racy demo programs the verifier must catch.
+"""Demo programs that calibrate the verifier.
 
-These are the verifier's own positive controls: programs whose result
-depends on message arrival order.  The test suite and the ``--smoke``
-entry point assert that :class:`~repro.verify.explorer.ScheduleExplorer`
-flags them with a replayable seed — if the fuzzer ever stops finding
-these, it is broken.
+The racy programs are positive controls: their result depends on message
+arrival order, and the test suite and the ``--smoke`` entry point assert
+that :class:`~repro.verify.explorer.ScheduleExplorer` flags them with a
+replayable seed — if the fuzzer ever stops finding these, it is broken.
+:func:`race_free_arrival` is the matching negative control: the same
+traffic shape with directed receives, on which the detector must stay
+silent — if it fires there, it is reporting false positives.
 """
 
 from __future__ import annotations
@@ -32,6 +34,24 @@ def racy_first_arrival(comm: Any) -> int | None:
         first = comm.recv_msg(ANY_SOURCE, tag=DEMO_TAG)
         for _ in range(comm.size - 2):
             comm.recv_msg(ANY_SOURCE, tag=DEMO_TAG)
+        return first.source
+    comm.send(0, comm.rank, tag=DEMO_TAG)
+    return None
+
+
+def race_free_arrival(comm: Any) -> int | None:
+    """The negative control for :func:`racy_first_arrival`.
+
+    Same traffic shape — every worker sends its rank id to rank 0 on the
+    same tag — but rank 0 drains the messages with *directed* receives in
+    rank order, so the result is schedule-independent.  The race detector
+    must stay silent on this program under every seed; if it fires here,
+    it is reporting false positives.
+    """
+    if comm.rank == 0:
+        first = comm.recv_msg(1, tag=DEMO_TAG)
+        for source in range(2, comm.size):
+            comm.recv_msg(source, tag=DEMO_TAG)
         return first.source
     comm.send(0, comm.rank, tag=DEMO_TAG)
     return None

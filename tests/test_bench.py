@@ -149,3 +149,35 @@ class TestFigureExperimentsSmall:
         assert curve.at(10).speedup > 10 / 5
         # ...but no longer at the largest configuration.
         assert curve.at(20).speedup < 20 / 5
+
+
+class TestBenchArtifact:
+    """PR 2 satellite: machine-readable results from `python -m repro.bench all`."""
+
+    def test_all_writes_schema_complete_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.__main__ import FIGURE_MACHINES, FIGURES, main
+
+        out = tmp_path / "BENCH_PR2.json"
+        assert main(["all", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["artifact"] == "BENCH_PR2"
+        assert set(data["figures"]) == set(FIGURES)
+        for name, entry in data["figures"].items():
+            assert entry["machine"] == FIGURE_MACHINES[name]
+            assert entry["description"]
+            assert entry["curves"], name
+            for curve in entry["curves"]:
+                assert curve["label"]
+                for point in curve["points"]:
+                    assert point["procs"] >= 1
+                    assert point["t_par"] > 0.0
+                    assert point["speedup"] == pytest.approx(
+                        point["t_seq"] / point["t_par"]
+                    )
+
+    def test_default_artifact_name(self):
+        from repro.bench.__main__ import ARTIFACT
+
+        assert ARTIFACT == "BENCH_PR2.json"

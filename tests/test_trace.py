@@ -171,3 +171,57 @@ class TestGantt:
         res = spmd_run(2, body, machine=TOY, trace=True)
         lines = render_gantt(res.tracer, width=60).splitlines()
         assert lines[2].count("#") > lines[1].count("#")
+
+
+class TestIdleAndReceivedAggregation:
+    """PR 2 satellite: bytes_received aggregation and gap-derived idle time."""
+
+    def test_total_bytes_received_matches_sent(self):
+        def body(comm):
+            comm.send((comm.rank + 1) % comm.size, b"12345678", tag=1)
+            comm.recv(tag=1)
+
+        s = summarize(spmd_run(4, body, machine=TOY, trace=True).tracer)
+        assert s.total_bytes_received == s.total_bytes
+        assert s.total_bytes_received == 4 * (16 + 8)
+
+    def test_idle_time_covers_tail_to_makespan(self):
+        def body(comm):
+            # Rank 1 works 10x longer; rank 0 then idles to the makespan.
+            comm.charge(1000.0 if comm.rank == 0 else 10_000.0)
+
+        s = summarize(spmd_run(2, body, machine=TOY, trace=True).tracer)
+        assert s.ranks[1].idle_time == pytest.approx(0.0)
+        assert s.ranks[0].idle_time == pytest.approx(9000.0 * 1e-6)
+        assert s.total_idle_time == pytest.approx(9000.0 * 1e-6)
+
+    def test_idle_time_covers_gaps_between_events(self):
+        def body(comm):
+            comm.charge(100.0)
+            # advance() passes virtual time without recording an event, so
+            # it must show up as an idle gap between the two compute events.
+            comm.advance(5e-3)
+            comm.charge(100.0)
+
+        s = summarize(spmd_run(1, body, machine=TOY, trace=True).tracer)
+        assert s.ranks[0].idle_time == pytest.approx(5e-3)
+
+    def test_busy_plus_idle_tiles_makespan(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.charge(5000.0)
+                comm.send(1, b"x" * 64, tag=1)
+            else:
+                comm.recv(source=0, tag=1)
+
+        res = spmd_run(2, body, machine=TOY, trace=True)
+        s = summarize(res.tracer)
+        for r in s.ranks:
+            assert r.compute_time + r.comm_time + r.idle_time == pytest.approx(
+                res.elapsed
+            )
+
+    def test_empty_trace_idle_zero(self):
+        s = summarize(spmd_run(2, lambda comm: None, trace=True).tracer)
+        assert s.total_idle_time == 0.0
+        assert s.total_bytes_received == 0

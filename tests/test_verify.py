@@ -10,7 +10,11 @@ from repro.runtime.message import ANY_SOURCE
 from repro.runtime.scheduler import FaultPlan, FuzzedBackend
 from repro.trace.events import MatchEvent
 from repro.verify import ScheduleExplorer, fuzzed_schedule, scan_races, value_digest
-from repro.verify.demo import racy_first_arrival, racy_float_reduction
+from repro.verify.demo import (
+    race_free_arrival,
+    racy_first_arrival,
+    racy_float_reduction,
+)
 from tests.conftest import assert_equal_values
 
 
@@ -315,3 +319,34 @@ class TestSmokeEntryPoint:
         assert main(["--program", "racy-arrival", "--replay", "3"]) == 0
         out = capsys.readouterr().out
         assert "rank 0:" in out
+
+
+class TestDemoControls:
+    """Regression: the detector fires on the racy demo and stays silent
+    on the race-free control — same traffic shape, directed receives."""
+
+    SEEDS = 8
+
+    def test_racy_demo_flagged_under_eight_seeds(self):
+        report = ScheduleExplorer.for_body(4, racy_first_arrival).explore(self.SEEDS)
+        assert report.races, "wildcard race went undetected over 8 seeds"
+        assert report.findings, "result divergence went undetected over 8 seeds"
+        assert not report.ok
+
+    def test_race_free_control_stays_silent_under_eight_seeds(self):
+        report = ScheduleExplorer.for_body(4, race_free_arrival).explore(self.SEEDS)
+        assert report.ok
+        assert report.races == []
+        assert report.findings == []
+
+    def test_control_returns_fixed_first_source(self):
+        res = spmd_run(4, race_free_arrival)
+        assert res.values[0] == 1
+        assert res.values[1:] == [None, None, None]
+
+    def test_control_registered_in_cli_as_clean(self):
+        from repro.verify.__main__ import PROGRAMS
+
+        factory, races_expected = PROGRAMS["race-free-arrival"]
+        assert races_expected is False
+        assert factory().explore(4).ok
