@@ -3,10 +3,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs-smoke chaos bench
+.PHONY: verify test obs-smoke chaos bench lint
 
-# Default gate: tier-1 tests plus the observability smoke check.
-verify: test obs-smoke
+# Default gate: lint (when ruff is available), tier-1 tests, and the
+# observability smoke check.
+verify: lint test obs-smoke
+
+# Ruff over src/ and tests/ (configured in pyproject.toml).  The offline
+# container may not ship ruff; CI installs it, so skip gracefully here.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 # Tier-1 gate: the full suite (includes the chaos-marked tests at the
 # default 4 seeds and the verify subsystem's own tests) — stays fast.
@@ -25,6 +35,7 @@ chaos:
 	$(PYTHON) -m repro.verify --smoke
 	$(PYTHON) -m pytest -q -m chaos
 
-# Reduced-scale sweep over every figure; writes BENCH_PR2.json.
+# Reduced-scale sweep over every figure plus the blocking-vs-overlapped
+# exchange ablation; writes BENCH_PR3.json.
 bench:
 	$(PYTHON) -m repro.bench all

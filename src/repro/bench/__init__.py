@@ -15,9 +15,12 @@ from repro.bench.figures import (
     figure16_cfd,
     figure17_fdtd,
     figure18_spectral,
+    overlap_ablation,
 )
 from repro.bench.report import format_curves, render_ascii_plot
 from repro.bench.predict import (
+    exchange_time,
+    overlapped_exchange_time,
     predict_cfd,
     predict_fft2d,
     predict_onedeep_sort,
@@ -25,10 +28,13 @@ from repro.bench.predict import (
 )
 
 __all__ = [
+    "exchange_time",
+    "overlapped_exchange_time",
     "predict_onedeep_sort",
     "predict_poisson",
     "predict_fft2d",
     "predict_cfd",
+    "overlap_ablation",
     "SpeedupPoint",
     "SpeedupCurve",
     "measure_speedups",

@@ -4,16 +4,18 @@ Usage::
 
     python -m repro.bench fig06            # Figure 6 at default scale
     python -m repro.bench fig17 --json out.json
+    python -m repro.bench overlap          # blocking vs overlapped A/B
     python -m repro.bench all              # every figure, reduced scale,
-                                           #   writes BENCH_PR2.json
+                                           #   writes BENCH_PR3.json
     python -m repro.bench list
 
 Each figure command runs the corresponding experiment, prints the
 speedup table and an ASCII plot, and optionally writes the series as
-JSON.  ``all`` sweeps every figure at a reduced problem scale and emits
-a machine-readable artifact (``BENCH_PR2.json``: per-figure predicted
-times, speedups, and machine name) so the performance trajectory can be
-tracked across PRs.
+JSON.  ``all`` sweeps every figure at a reduced problem scale, runs the
+blocking-vs-overlapped exchange ablation, and emits a machine-readable
+artifact (``BENCH_PR3.json``: per-figure predicted times, speedups,
+machine name, and the overlap ablation table) so the performance
+trajectory can be tracked across PRs.
 """
 
 from __future__ import annotations
@@ -36,7 +38,7 @@ FIGURES = {
 }
 
 #: default output of ``python -m repro.bench all``
-ARTIFACT = "BENCH_PR2.json"
+ARTIFACT = "BENCH_PR3.json"
 
 #: machine model each figure runs on (matches the figure defaults)
 FIGURE_MACHINES = {
@@ -74,9 +76,22 @@ def curves_to_json(curves: list[SpeedupCurve]) -> list[dict]:
     ]
 
 
+def render_overlap_table(rows: list[dict]) -> str:
+    lines = [
+        "blocking vs overlapped ghost exchange (virtual makespan, seconds)",
+        f"{'app':>8} {'machine':>14} {'P':>3} {'blocking':>12} {'overlapped':>12} {'ratio':>7}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['app']:>8} {r['machine']:>14} {r['procs']:>3} "
+            f"{r['blocking']:>12.6g} {r['overlapped']:>12.6g} {r['ratio']:>7.3f}"
+        )
+    return "\n".join(lines)
+
+
 def run_all(json_path: str) -> int:
     """Sweep every figure at reduced scale and write the JSON artifact."""
-    report: dict = {"artifact": "BENCH_PR2", "figures": {}}
+    report: dict = {"artifact": "BENCH_PR3", "figures": {}}
     for name, (experiment, description) in FIGURES.items():
         curves = experiment(**FAST_PARAMS[name])
         entry = {
@@ -93,6 +108,15 @@ def run_all(json_path: str) -> int:
             f"{c.label}: {c.peak().speedup:.2f}x @ P={c.peak().procs}" for c in curves
         )
         print(f"{name} [{entry['machine']}] {description} — {peaks}")
+    ablation = figures.overlap_ablation()
+    report["figures"]["fig_overlap"] = {
+        "description": "blocking vs overlapped ghost exchange makespan",
+        "machine": ", ".join(m.name for m in figures.OVERLAP_MACHINES),
+        "params": {"procs": 4},
+        "rows": ablation,
+    }
+    print()
+    print(render_overlap_table(ablation))
     with open(json_path, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"\nartifact written to {json_path}")
@@ -106,8 +130,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[*FIGURES, "all", "list"],
-        help="figure to regenerate, 'all' for the reduced-scale sweep "
+        choices=[*FIGURES, "overlap", "all", "list"],
+        help="figure to regenerate, 'overlap' for the blocking-vs-"
+        "overlapped exchange ablation, 'all' for the reduced-scale sweep "
         f"(writes {ARTIFACT}), or 'list' to enumerate them",
     )
     parser.add_argument("--json", metavar="PATH", help="also write the series as JSON")
@@ -119,10 +144,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.figure == "list":
         for name, (_, description) in FIGURES.items():
             print(f"  {name}: {description}")
+        print("  overlap: blocking vs overlapped ghost-exchange ablation")
         return 0
 
     if args.figure == "all":
         return run_all(args.json or ARTIFACT)
+
+    if args.figure == "overlap":
+        rows = figures.overlap_ablation()
+        print(render_overlap_table(rows))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(rows, fh, indent=2)
+            print(f"\nseries written to {args.json}")
+        return 0
 
     experiment, description = FIGURES[args.figure]
     curves = experiment()

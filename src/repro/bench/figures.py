@@ -244,3 +244,79 @@ def figure18_spectral(
 def sequential_spectral_reference(nr: int, nz: int, steps: int, machine: MachineModel) -> float:
     """Exposed for analysis: the (paged) sequential baseline of Fig. 18."""
     return sequential_spectralflow_time(nr, nz, steps, machine)
+
+
+#: default machine models for the overlap ablation (one high-latency
+#: switch, one low-latency mesh — the overlap win shows on both)
+OVERLAP_MACHINES: tuple[MachineModel, ...] = (IBM_SP, INTEL_DELTA)
+
+
+def overlap_ablation(
+    procs: int = 4,
+    machines: tuple[MachineModel, ...] = OVERLAP_MACHINES,
+    poisson_n: int = 128,
+    poisson_iters: int = 5,
+    cfd_n: int = 96,
+    cfd_steps: int = 3,
+    fdtd_n: int = 16,
+    fdtd_steps: int = 2,
+) -> list[dict]:
+    """Blocking vs overlapped ghost exchange: virtual makespan A/B.
+
+    Runs each mesh application twice per machine model — once with the
+    blocking boundary exchange (``overlap=False``) and once with the
+    nonblocking post-recvs / compute-deep / waitall / compute-shell
+    pipeline (``overlap=True``, the default) — and reports the makespan
+    ratio.  The numerics are bitwise identical between the two modes
+    (asserted by the test suite); only the virtual-time accounting
+    differs, because the overlapped path charges ``max(compute, wire)``
+    where the blocking path charges their sum.
+    """
+    rows: list[dict] = []
+    runs = {
+        "poisson": lambda machine, overlap: poisson_archetype().run(
+            procs,
+            poisson_n,
+            poisson_n,
+            machine=machine,
+            tolerance=0.0,
+            max_iters=poisson_iters,
+            gather_solution=False,
+            overlap=overlap,
+        ),
+        "cfd": lambda machine, overlap: cfd_archetype().run(
+            procs,
+            cfd_n,
+            cfd_n,
+            cfd_steps,
+            ic="smooth",
+            machine=machine,
+            gather=False,
+            overlap=overlap,
+        ),
+        "fdtd": lambda machine, overlap: fdtd_archetype().run(
+            procs,
+            fdtd_n,
+            fdtd_n,
+            fdtd_n,
+            steps=fdtd_steps,
+            machine=machine,
+            gather=False,
+            overlap=overlap,
+        ),
+    }
+    for machine in machines:
+        for app, run in runs.items():
+            blocking = run(machine, False).elapsed
+            overlapped = run(machine, True).elapsed
+            rows.append(
+                {
+                    "app": app,
+                    "machine": machine.name,
+                    "procs": procs,
+                    "blocking": blocking,
+                    "overlapped": overlapped,
+                    "ratio": overlapped / blocking if blocking else 1.0,
+                }
+            )
+    return rows

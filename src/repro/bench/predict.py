@@ -65,12 +65,54 @@ def exchange_time(
     proc_grid: tuple[int, ...],
     slab_bytes_per_axis: tuple[float, ...],
 ) -> float:
-    """Ghost exchange: two messages per split axis on the critical path."""
+    """Blocking ghost exchange, one axis at a time.
+
+    Each axis posts its receives and sends nonblocking and completes
+    them with a single ``waitall``, so the two directions' wire
+    transfers overlap: an interior rank pays one send-post overhead,
+    one message time, and two ingest overheads; an edge rank (only one
+    neighbour on the axis, the ``dim == 2`` case everywhere) pays one
+    message time plus one ingest overhead.
+    """
     total = 0.0
     for dim, slab in zip(proc_grid, slab_bytes_per_axis):
         if dim > 1:
-            total += 2 * _round_cost(machine, slab, nodes)
+            payload = int(slab) + _OVERHEAD_BYTES
+            mt = machine.message_time(payload, nodes=nodes)
+            ro = machine.recv_overhead(payload, nodes=nodes)
+            if dim > 2:
+                total += machine.send_overhead(payload, nodes=nodes) + mt + 2 * ro
+            else:
+                total += mt + ro
     return total
+
+
+def overlapped_exchange_time(
+    machine: MachineModel,
+    nodes: int,
+    proc_grid: tuple[int, ...],
+    slab_bytes_per_axis: tuple[float, ...],
+    compute_seconds: float,
+) -> float:
+    """One overlapped stencil sweep: post every face's send/recv, update
+    the deep cells while the wires drain, then ingest the slabs.
+
+    The critical-path rank pays its send-post overheads, then the larger
+    of the deep compute and the slowest concurrent wire transfer, then
+    one ingest overhead per incoming slab (shell compute is folded into
+    *compute_seconds* — the slabs are a vanishing fraction of the work).
+    """
+    so_tot = ro_tot = wire = 0.0
+    for dim, slab in zip(proc_grid, slab_bytes_per_axis):
+        if dim > 1:
+            payload = int(slab) + _OVERHEAD_BYTES
+            faces = 2 if dim > 2 else 1  # messages each way on this axis
+            so_tot += faces * machine.send_overhead(payload, nodes=nodes)
+            ro_tot += faces * machine.recv_overhead(payload, nodes=nodes)
+            wire = max(wire, machine.message_time(payload, nodes=nodes))
+    if wire == 0.0:
+        return compute_seconds
+    return so_tot + max(compute_seconds, wire) + ro_tot
 
 
 # -- archetype program models ---------------------------------------------------
@@ -99,22 +141,32 @@ def predict_poisson(
     nodes: int,
     machine: MachineModel,
     proc_grid: tuple[int, int] | None = None,
+    overlap: bool = True,
 ) -> float:
-    """T(P) of the Jacobi Poisson solver (fixed iteration count)."""
+    """T(P) of the Jacobi Poisson solver (fixed iteration count).
+
+    With *overlap* (the application default) the Jacobi sweep hides the
+    ghost slabs' wire time behind the deep-cell update; the residual and
+    copy passes plus the convergence allreduce stay on the critical path
+    either way.
+    """
     if proc_grid is None:
         from repro.comm.cart import choose_proc_grid
 
         proc_grid = choose_proc_grid(nodes, 2)  # type: ignore[assignment]
     pr, pc = proc_grid
     points = nx * ny / nodes
-    per_iter_compute = (FLOPS_PER_POINT + 2.0 + 2.0) * points * machine.flop_time
-    per_iter_comm = exchange_time(
-        machine,
-        nodes,
-        proc_grid,
-        ((ny / pc) * 8.0, (nx / pr) * 8.0),
-    ) + allreduce_time(machine, nodes)
-    return iters * (per_iter_compute + per_iter_comm)
+    slabs = ((ny / pc) * 8.0, (nx / pr) * 8.0)
+    stencil_compute = FLOPS_PER_POINT * points * machine.flop_time
+    other_compute = (2.0 + 2.0) * points * machine.flop_time
+    if overlap:
+        per_iter = overlapped_exchange_time(
+            machine, nodes, proc_grid, slabs, stencil_compute
+        )
+    else:
+        per_iter = stencil_compute + exchange_time(machine, nodes, proc_grid, slabs)
+    per_iter += other_compute + allreduce_time(machine, nodes)
+    return iters * per_iter
 
 
 def predict_fft2d(
@@ -151,8 +203,15 @@ def predict_cfd(
     machine: MachineModel,
     proc_grid: tuple[int, int] | None = None,
     cfl_interval: int = 1,
+    overlap: bool = True,
 ) -> float:
-    """T(P) of the compressible-flow step loop (packed exchange)."""
+    """T(P) of the compressible-flow step loop (packed exchange).
+
+    With *overlap* (the application default) the Lax-Friedrichs update
+    of the deep cells hides the packed slabs' wire time; the CFL wave
+    speed (computed from interior cells before the exchange) and its
+    max-reduction stay on the critical path.
+    """
     from repro.apps.cfd import FLOPS_PER_CELL
 
     if proc_grid is None:
@@ -161,14 +220,15 @@ def predict_cfd(
         proc_grid = choose_proc_grid(nodes, 2)  # type: ignore[assignment]
     pr, pc = proc_grid
     cells = nx * ny / nodes
-    per_step_compute = FLOPS_PER_CELL * cells * machine.flop_time
+    step_compute = FLOPS_PER_CELL * cells * machine.flop_time
     # Packed exchange: 4 state components in one slab per direction.
-    per_step_comm = exchange_time(
-        machine,
-        nodes,
-        proc_grid,
-        (4 * (ny / pc + 2) * 8.0, 4 * (nx / pr + 2) * 8.0),
-    )
+    slabs = (4 * (ny / pc + 2) * 8.0, 4 * (nx / pr + 2) * 8.0)
+    if overlap:
+        per_step = overlapped_exchange_time(
+            machine, nodes, proc_grid, slabs, step_compute
+        )
+    else:
+        per_step = step_compute + exchange_time(machine, nodes, proc_grid, slabs)
     reduces = math.ceil(steps / cfl_interval)
     cfl = reduces * (6.0 * cells * machine.flop_time + allreduce_time(machine, nodes))
-    return steps * (per_step_compute + per_step_comm) + cfl
+    return steps * per_step + cfl

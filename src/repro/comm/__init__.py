@@ -24,10 +24,18 @@ from repro.comm.layout import (
 )
 from repro.comm.cart import CartGrid, choose_proc_grid
 from repro.comm.redistribute import redistribute
-from repro.comm.boundary import exchange_ghosts
+from repro.comm.boundary import (
+    GhostExchange,
+    exchange_ghosts,
+    exchange_ghosts_many,
+    exchange_ghosts_many_start,
+    exchange_ghosts_start,
+)
+from repro.runtime.request import Request
 
 __all__ = [
     "Comm",
+    "Request",
     "Op",
     "make_op",
     "SUM",
@@ -47,5 +55,9 @@ __all__ = [
     "CartGrid",
     "choose_proc_grid",
     "redistribute",
+    "GhostExchange",
     "exchange_ghosts",
+    "exchange_ghosts_many",
+    "exchange_ghosts_many_start",
+    "exchange_ghosts_start",
 ]

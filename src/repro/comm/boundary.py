@@ -5,10 +5,20 @@ surrounded by a *ghost boundary* holding shadow copies of the neighbours'
 edge values.  ``exchange_ghosts`` refreshes those shadows: for every grid
 axis, each rank swaps a ``ghost``-deep slab with its face neighbours.
 
-Axes are processed in order and each slab spans the *full* extent of the
-other axes (ghost layers included), so after the final axis corner and
-edge ghost cells are correct too — the standard trick that makes one
-face-exchange pass sufficient for 9-point/27-point stencils.
+Two variants are provided:
+
+- the **blocking** exchange processes axes in order, each slab spanning
+  the *full* extent of the other axes (ghost layers included), so after
+  the final axis corner and edge ghost cells are correct too — the
+  standard trick that makes one face-exchange pass sufficient for
+  9-point/27-point stencils;
+- the **overlapped** exchange (``exchange_ghosts_start``) posts every
+  face transfer at once and returns a :class:`GhostExchange` handle, so
+  the caller can compute on interior cells while the slabs are in
+  flight.  Because all slabs are extracted before any ghost is written,
+  corner/edge ghost cells (which would need a second pass) are *stale*
+  after the overlapped exchange — correct for star stencils, which read
+  only axis-aligned neighbours, but not for box stencils.
 """
 
 from __future__ import annotations
@@ -18,9 +28,14 @@ import numpy as np
 from repro.errors import DistributionError
 from repro.comm.cart import CartGrid
 from repro.comm.communicator import Comm, MAX_USER_TAG
+from repro.runtime.request import Request
 
-#: tag space reserved for boundary exchange (below the user-tag cap)
+#: tag space reserved for boundary exchange (below the user-tag cap):
+#: blocking single at +0, overlapped single at +16, blocking packed at
+#: +32, overlapped packed at +48 — 2 tags per axis, up to 8 axes each.
 _BOUNDARY_TAG_BASE = MAX_USER_TAG - 64
+_OVERLAP_OFFSET = 16
+_PACKED_OFFSET = 32
 
 
 def _slab(
@@ -32,6 +47,37 @@ def _slab(
     )
 
 
+def _check_exchange_args(
+    comm: Comm,
+    shape: tuple[int, ...],
+    ndim: int,
+    grid: CartGrid,
+    ghost: int,
+    periodic: tuple[bool, ...] | bool,
+) -> tuple[bool, ...]:
+    if ghost < 1:
+        raise DistributionError(f"ghost width must be >= 1, got {ghost}")
+    if grid.nranks != comm.size:
+        raise DistributionError(
+            f"process grid has {grid.nranks} ranks, communicator {comm.size}"
+        )
+    if ndim != grid.ndim:
+        raise DistributionError(
+            f"local array is {ndim}-D but process grid is {grid.ndim}-D"
+        )
+    if any(n < 2 * ghost for n in shape):
+        raise DistributionError(
+            f"local shape {shape} too small for ghost width {ghost}"
+        )
+    if isinstance(periodic, bool):
+        periodic = tuple(periodic for _ in range(grid.ndim))
+    if len(periodic) != grid.ndim:
+        raise DistributionError(
+            f"periodic flags {periodic} do not match grid rank {grid.ndim}"
+        )
+    return periodic
+
+
 def exchange_ghosts(
     comm: Comm,
     local: np.ndarray,
@@ -39,7 +85,7 @@ def exchange_ghosts(
     ghost: int = 1,
     periodic: tuple[bool, ...] | bool = False,
 ) -> None:
-    """Refresh the ghost layers of *local* in place.
+    """Refresh the ghost layers of *local* in place (blocking).
 
     Parameters
     ----------
@@ -55,27 +101,9 @@ def exchange_ghosts(
         physical edges the ghost cells are left untouched (they hold
         boundary conditions maintained by the application).
     """
-    if ghost < 1:
-        raise DistributionError(f"ghost width must be >= 1, got {ghost}")
-    if grid.nranks != comm.size:
-        raise DistributionError(
-            f"process grid has {grid.nranks} ranks, communicator {comm.size}"
-        )
-    if local.ndim != grid.ndim:
-        raise DistributionError(
-            f"local array is {local.ndim}-D but process grid is {grid.ndim}-D"
-        )
-    if any(n < 2 * ghost for n in local.shape):
-        raise DistributionError(
-            f"local shape {local.shape} too small for ghost width {ghost}"
-        )
-    if isinstance(periodic, bool):
-        periodic = tuple(periodic for _ in range(grid.ndim))
-    if len(periodic) != grid.ndim:
-        raise DistributionError(
-            f"periodic flags {periodic} do not match grid rank {grid.ndim}"
-        )
-
+    periodic = _check_exchange_args(
+        comm, local.shape, local.ndim, grid, ghost, periodic
+    )
     n = local.shape
     for axis in range(grid.ndim):
         lo_nbr = grid.shift(comm.rank, axis, -1, periodic[axis])
@@ -83,21 +111,26 @@ def exchange_ghosts(
         tag_lo = _BOUNDARY_TAG_BASE + 2 * axis  # travelling toward lower coords
         tag_hi = _BOUNDARY_TAG_BASE + 2 * axis + 1  # travelling toward higher
 
-        # Post both sends first (sends are buffered), then receive.
+        # Post all of this axis's transfers (receives first, so a
+        # self-neighbouring periodic axis binds its own slabs) and
+        # complete them with one waitall: the two directions' wires
+        # overlap, but axes stay serialised so corner ghosts are built
+        # up correctly.  Outgoing slabs are snapshotted by copy-on-send
+        # before either ghost is written.
+        recv_hi = comm.irecv(hi_nbr, tag=tag_lo) if hi_nbr is not None else None
+        recv_lo = comm.irecv(lo_nbr, tag=tag_hi) if lo_nbr is not None else None
+        requests = [r for r in (recv_hi, recv_lo) if r is not None]
         if lo_nbr is not None:
-            piece = np.ascontiguousarray(local[_slab(local, axis, ghost, 2 * ghost)])
-            comm.send(lo_nbr, piece, tag=tag_lo)
+            piece = local[_slab(local, axis, ghost, 2 * ghost)]
+            requests.append(comm.isend(lo_nbr, piece, tag=tag_lo))
         if hi_nbr is not None:
-            piece = np.ascontiguousarray(
-                local[_slab(local, axis, n[axis] - 2 * ghost, n[axis] - ghost)]
-            )
-            comm.send(hi_nbr, piece, tag=tag_hi)
-        if hi_nbr is not None:
-            local[_slab(local, axis, n[axis] - ghost, n[axis])] = comm.recv(
-                hi_nbr, tag=tag_lo
-            )
-        if lo_nbr is not None:
-            local[_slab(local, axis, 0, ghost)] = comm.recv(lo_nbr, tag=tag_hi)
+            piece = local[_slab(local, axis, n[axis] - 2 * ghost, n[axis] - ghost)]
+            requests.append(comm.isend(hi_nbr, piece, tag=tag_hi))
+        comm.waitall(requests)
+        if recv_hi is not None:
+            local[_slab(local, axis, n[axis] - ghost, n[axis])] = recv_hi.payload
+        if recv_lo is not None:
+            local[_slab(local, axis, 0, ghost)] = recv_lo.payload
 
 
 def exchange_ghosts_many(
@@ -108,7 +141,7 @@ def exchange_ghosts_many(
     periodic: tuple[bool, ...] | bool = False,
 ) -> None:
     """Refresh ghost layers of several same-shaped arrays in one message
-    per neighbour per direction.
+    per neighbour per direction (blocking).
 
     Production stencil codes pack all state components into a single
     boundary message to amortise the per-message latency; this is the
@@ -124,37 +157,180 @@ def exchange_ghosts_many(
                 "exchange_ghosts_many needs same-shaped arrays; got "
                 f"{arr.shape} vs {first.shape}"
             )
-    if ghost < 1:
-        raise DistributionError(f"ghost width must be >= 1, got {ghost}")
-    if grid.nranks != comm.size:
-        raise DistributionError(
-            f"process grid has {grid.nranks} ranks, communicator {comm.size}"
-        )
-    if isinstance(periodic, bool):
-        periodic = tuple(periodic for _ in range(grid.ndim))
-
+    periodic = _check_exchange_args(
+        comm, first.shape, first.ndim, grid, ghost, periodic
+    )
     n = first.shape
     for axis in range(grid.ndim):
         lo_nbr = grid.shift(comm.rank, axis, -1, periodic[axis])
         hi_nbr = grid.shift(comm.rank, axis, +1, periodic[axis])
-        tag_lo = _BOUNDARY_TAG_BASE + 32 + 2 * axis
-        tag_hi = _BOUNDARY_TAG_BASE + 32 + 2 * axis + 1
+        tag_lo = _BOUNDARY_TAG_BASE + _PACKED_OFFSET + 2 * axis
+        tag_hi = _BOUNDARY_TAG_BASE + _PACKED_OFFSET + 2 * axis + 1
+        recv_hi = comm.irecv(hi_nbr, tag=tag_lo) if hi_nbr is not None else None
+        recv_lo = comm.irecv(lo_nbr, tag=tag_hi) if lo_nbr is not None else None
+        requests = [r for r in (recv_hi, recv_lo) if r is not None]
         if lo_nbr is not None:
             sel = _slab(first, axis, ghost, 2 * ghost)
-            comm.send(lo_nbr, np.stack([a[sel] for a in locals_]), tag=tag_lo)
+            requests.append(
+                comm.isend(lo_nbr, np.stack([a[sel] for a in locals_]), tag=tag_lo)
+            )
         if hi_nbr is not None:
             sel = _slab(first, axis, n[axis] - 2 * ghost, n[axis] - ghost)
-            comm.send(hi_nbr, np.stack([a[sel] for a in locals_]), tag=tag_hi)
-        if hi_nbr is not None:
-            packed = comm.recv(hi_nbr, tag=tag_lo)
+            requests.append(
+                comm.isend(hi_nbr, np.stack([a[sel] for a in locals_]), tag=tag_hi)
+            )
+        comm.waitall(requests)
+        if recv_hi is not None:
             sel = _slab(first, axis, n[axis] - ghost, n[axis])
-            for a, piece in zip(locals_, packed):
+            for a, piece in zip(locals_, recv_hi.payload):
                 a[sel] = piece
-        if lo_nbr is not None:
-            packed = comm.recv(lo_nbr, tag=tag_hi)
+        if recv_lo is not None:
             sel = _slab(first, axis, 0, ghost)
-            for a, piece in zip(locals_, packed):
+            for a, piece in zip(locals_, recv_lo.payload):
                 a[sel] = piece
+
+
+class GhostExchange:
+    """An in-flight overlapped ghost exchange.
+
+    Created by :func:`exchange_ghosts_start` /
+    :func:`exchange_ghosts_many_start`: every face transfer (all axes,
+    both directions) is posted nonblocking before the constructor
+    returns, so the caller can compute on cells that do not read ghosts
+    while the slabs travel.  :meth:`wait` completes the transfers and
+    writes the received slabs into the ghost layers.
+
+    Unlike the blocking exchange, axes are *not* serialised, so ghost
+    cells in the corner/edge regions (offsets along more than one axis)
+    hold stale values afterwards — fine for star stencils, which never
+    read them.  Outgoing slabs are snapshotted at post time (messages
+    copy-on-send), so the caller may update interior cells freely
+    between start and wait.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        locals_: list[np.ndarray],
+        grid: CartGrid,
+        ghost: int,
+        periodic: tuple[bool, ...] | bool,
+        packed: bool,
+    ):
+        if not locals_:
+            self._comm = comm
+            self._requests: list[Request] = []
+            self._recvs: list[tuple[Request, int, str]] = []
+            self._locals = locals_
+            self._ghost = ghost
+            self._packed = packed
+            self._done = True
+            return
+        first = locals_[0]
+        for arr in locals_[1:]:
+            if arr.shape != first.shape:
+                raise DistributionError(
+                    "overlapped exchange needs same-shaped arrays; got "
+                    f"{arr.shape} vs {first.shape}"
+                )
+        periodic = _check_exchange_args(
+            comm, first.shape, first.ndim, grid, ghost, periodic
+        )
+        self._comm = comm
+        self._locals = locals_
+        self._ghost = ghost
+        self._packed = packed
+        self._done = False
+        self._requests = []
+        #: receive bookkeeping: (request, axis, side) with side "lo"/"hi"
+        #: naming the ghost slab the payload fills
+        self._recvs = []
+        base = _BOUNDARY_TAG_BASE + _OVERLAP_OFFSET
+        if packed:
+            base += _PACKED_OFFSET
+        n = first.shape
+        neighbours = []
+        for axis in range(grid.ndim):
+            lo_nbr = grid.shift(comm.rank, axis, -1, periodic[axis])
+            hi_nbr = grid.shift(comm.rank, axis, +1, periodic[axis])
+            tag_lo = base + 2 * axis
+            tag_hi = base + 2 * axis + 1
+            neighbours.append((axis, lo_nbr, hi_nbr, tag_lo, tag_hi))
+            # Post all receives before any send so a self-neighbouring
+            # periodic axis (one rank along it) binds its own slabs to
+            # the already-posted patterns.
+            if hi_nbr is not None:
+                req = comm.irecv(hi_nbr, tag=tag_lo)
+                self._requests.append(req)
+                self._recvs.append((req, axis, "hi"))
+            if lo_nbr is not None:
+                req = comm.irecv(lo_nbr, tag=tag_hi)
+                self._requests.append(req)
+                self._recvs.append((req, axis, "lo"))
+        for axis, lo_nbr, hi_nbr, tag_lo, tag_hi in neighbours:
+            if lo_nbr is not None:
+                sel = _slab(first, axis, ghost, 2 * ghost)
+                self._requests.append(comm.isend(lo_nbr, self._pack(sel), tag=tag_lo))
+            if hi_nbr is not None:
+                sel = _slab(first, axis, n[axis] - 2 * ghost, n[axis] - ghost)
+                self._requests.append(comm.isend(hi_nbr, self._pack(sel), tag=tag_hi))
+
+    def _pack(self, sel: tuple[slice, ...]) -> np.ndarray:
+        if self._packed:
+            return np.stack([a[sel] for a in self._locals])
+        return self._locals[0][sel]
+
+    def _unpack(self, sel: tuple[slice, ...], payload: np.ndarray) -> None:
+        if self._packed:
+            for a, piece in zip(self._locals, payload):
+                a[sel] = piece
+        else:
+            self._locals[0][sel] = payload
+
+    @property
+    def done(self) -> bool:
+        """True once :meth:`wait` has completed the exchange."""
+        return self._done
+
+    def wait(self) -> None:
+        """Complete all transfers and fill the ghost layers (idempotent)."""
+        if self._done:
+            return
+        self._comm.waitall(self._requests)
+        n = self._locals[0].shape
+        ghost = self._ghost
+        for req, axis, side in self._recvs:
+            if side == "hi":
+                sel = _slab(self._locals[0], axis, n[axis] - ghost, n[axis])
+            else:
+                sel = _slab(self._locals[0], axis, 0, ghost)
+            self._unpack(sel, req.payload)
+        self._done = True
+
+
+def exchange_ghosts_start(
+    comm: Comm,
+    local: np.ndarray,
+    grid: CartGrid,
+    ghost: int = 1,
+    periodic: tuple[bool, ...] | bool = False,
+) -> GhostExchange:
+    """Begin an overlapped ghost exchange of one array; returns the
+    in-flight handle.  Compute on non-ghost-reading cells, then
+    ``handle.wait()`` before touching cells that read ghosts."""
+    return GhostExchange(comm, [local], grid, ghost, periodic, packed=False)
+
+
+def exchange_ghosts_many_start(
+    comm: Comm,
+    locals_: list[np.ndarray],
+    grid: CartGrid,
+    ghost: int = 1,
+    periodic: tuple[bool, ...] | bool = False,
+) -> GhostExchange:
+    """Packed overlapped exchange of several same-shaped arrays (one
+    message per neighbour per direction); returns the in-flight handle."""
+    return GhostExchange(comm, locals_, grid, ghost, periodic, packed=True)
 
 
 def add_ghosts(section: np.ndarray, ghost: int, fill: float = 0.0) -> np.ndarray:

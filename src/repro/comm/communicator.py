@@ -48,6 +48,11 @@ class Comm(RankContext):
         else:
             raise CommError(f"user tags must be < {MAX_USER_TAG} (got {tag})")
 
+    def isend(self, dest: int, payload: Any, tag: int = 0):
+        if 0 <= tag < MAX_USER_TAG or tag >= _COLL_TAG_BASE:
+            return super().isend(dest, payload, tag)
+        raise CommError(f"user tags must be < {MAX_USER_TAG} (got {tag})")
+
     def _check_root(self, root: int) -> None:
         if not 0 <= root < self.size:
             raise CommError(f"root {root} out of range for size {self.size}")
@@ -97,8 +102,12 @@ class Comm(RankContext):
         tag = self._coll_tag()
         k = 1
         while k < self.size:
-            self.send((self.rank + k) % self.size, None, tag=tag)
-            self.recv((self.rank - k) % self.size, tag=tag)
+            self.sendrecv(
+                (self.rank + k) % self.size,
+                None,
+                (self.rank - k) % self.size,
+                send_tag=tag,
+            )
             k <<= 1
 
     # -- broadcast --------------------------------------------------------------
@@ -187,8 +196,7 @@ class Comm(RankContext):
                 partner = (
                     partner_new * 2 + 1 if partner_new < rem else partner_new + rem
                 )
-                self.send(partner, value, tag=tag)
-                other = self.recv(partner, tag=tag)
+                other = self.sendrecv(partner, value, partner, send_tag=tag)
                 value = op(other, value) if partner_new < newrank else op(value, other)
                 mask <<= 1
 
@@ -245,8 +253,7 @@ class Comm(RankContext):
         left = (self.rank - 1) % self.size
         idx, cur = self.rank, value
         for _ in range(self.size - 1):
-            self.send(right, (idx, cur), tag=tag)
-            idx, cur = self.recv(left, tag=tag)
+            idx, cur = self.sendrecv(right, (idx, cur), left, send_tag=tag)
             out[idx] = cur
         return out
 
@@ -268,8 +275,7 @@ class Comm(RankContext):
         for k in range(1, self.size):
             dst = (self.rank + k) % self.size
             src = (self.rank - k) % self.size
-            self.send(dst, values[dst], tag=tag)
-            out[src] = self.recv(src, tag=tag)
+            out[src] = self.sendrecv(dst, values[dst], src, send_tag=tag)
         return out
 
     # -- scan ------------------------------------------------------------------
@@ -285,11 +291,10 @@ class Comm(RankContext):
         acc = value
         d = 1
         for tag in tags:
-            outgoing = acc
-            if self.rank + d < self.size:
-                self.send(self.rank + d, outgoing, tag=tag)
-            if self.rank - d >= 0:
-                received = self.recv(self.rank - d, tag=tag)
+            dest = self.rank + d if self.rank + d < self.size else None
+            source = self.rank - d if self.rank - d >= 0 else None
+            received = self.sendrecv(dest, acc, source, send_tag=tag)
+            if source is not None:
                 acc = op(received, acc)
             d <<= 1
         return acc

@@ -31,12 +31,46 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ArchetypeError
+from repro.comm.boundary import exchange_ghosts_many, exchange_ghosts_many_start
 from repro.comm.communicator import Comm
 from repro.comm.reductions import MAX, MIN, SUM, Op
 from repro.core.archetype import Archetype
 from repro.core.globals import GlobalVar
 from repro.core.grid import DistGrid
 from repro.obs.metrics import get_registry
+
+
+def split_deep_shell(
+    region: tuple[slice, ...], ghost: int, shape: tuple[int, ...]
+) -> tuple[tuple[slice, ...], list[tuple[slice, ...]]]:
+    """Split *region* (slices into an owned section of *shape*) for
+    compute/communication overlap.
+
+    Returns ``(deep, shells)``: *deep* is the subregion whose cells lie at
+    least *ghost* from every owned-section edge — stencil reads of radius
+    up to *ghost* from a deep cell never touch a ghost layer, so deep
+    cells can be updated while the exchange is in flight; *shells* are
+    disjoint tiles covering the rest of the region, updated after the
+    exchange completes.  Together they tile *region* exactly, so charging
+    per tile sums to the one-region charge.
+    """
+    deep = []
+    for s, n in zip(region, shape):
+        lo = min(max(s.start, ghost), s.stop)
+        hi = max(min(s.stop, n - ghost), lo)
+        deep.append(slice(lo, hi))
+    shells: list[tuple[slice, ...]] = []
+    for d, (s, ds) in enumerate(zip(region, deep)):
+        # Axes before d take the deep band, axis d one of the two shell
+        # slabs, axes after d the full region extent: every non-deep cell
+        # lands in exactly one tile (indexed by its first non-deep axis).
+        prefix = tuple(deep[:d])
+        suffix = tuple(region[d + 1 :])
+        if s.start < ds.start:
+            shells.append(prefix + (slice(s.start, ds.start),) + suffix)
+        if ds.stop < s.stop:
+            shells.append(prefix + (slice(ds.stop, s.stop),) + suffix)
+    return tuple(deep), shells
 
 
 def _instrumented(method):
@@ -100,11 +134,15 @@ class StencilView:
 class MeshContext:
     """The operations a mesh-spectral program is written against."""
 
-    def __init__(self, comm: Comm):
+    def __init__(self, comm: Comm, overlap: bool = True):
         self.comm = comm
         #: per-rank working-set size (bytes) used by the machine's memory
         #: model; set via :meth:`set_working_set`
         self.working_set: float | None = None
+        #: default for the ``overlap=`` argument of stencil operations:
+        #: when True, ghost exchanges run nonblocking and interior cells
+        #: are updated while boundary slabs are in flight
+        self.overlap = overlap
 
     def set_working_set(self, nbytes: float | None) -> None:
         """Declare this rank's resident working-set size.
@@ -164,6 +202,7 @@ class MeshContext:
         margin: int | tuple[int, ...] = 1,
         periodic: tuple[bool, ...] | bool = False,
         exchange: bool = True,
+        overlap: bool | None = None,
         flops_per_point: float = 0.0,
         label: str = "stencil_op",
     ) -> None:
@@ -175,6 +214,15 @@ class MeshContext:
         ``periodic=True`` for fully periodic updates).  Per the paper's
         §3.1 restriction, ``out`` must be disjoint from every input; this
         is checked and violations raise :class:`ArchetypeError`.
+
+        With *overlap* (defaulting to the context's :attr:`overlap`), the
+        ghost exchange runs nonblocking: cells deep enough that their
+        stencil reads stay within owned data are updated while boundary
+        slabs travel, then the exchange completes and the shell cells are
+        updated.  Numerically identical to the blocking path for star
+        stencils (the update is the same elementwise expression applied
+        region by region); corner ghosts are stale in overlap mode, so
+        box stencils reading diagonal offsets must pass ``overlap=False``.
         """
         self._check_compatible(out, ins)
         for g in ins:
@@ -187,15 +235,125 @@ class MeshContext:
                 raise ArchetypeError(
                     f"stencil input grid has ghost width {g.ghost}; need >= 1"
                 )
-        if exchange:
-            for g in ins:
-                g.exchange(periodic=periodic)
+        use_overlap = (self.overlap if overlap is None else overlap) and exchange
         region = out.interior_intersection(margin)
+        if not use_overlap:
+            if exchange:
+                for g in ins:
+                    g.exchange(periodic=periodic)
+            self._stencil_apply(fn, out, ins, region, flops_per_point, label)
+            return
+        handles = [g.exchange_start(periodic=periodic) for g in ins]
+        deep, shells = split_deep_shell(
+            region, max(g.ghost for g in ins), out.interior.shape
+        )
+        self._stencil_apply(fn, out, ins, deep, flops_per_point, label)
+        for handle in handles:
+            handle.wait()
+        for tile in shells:
+            self._stencil_apply(fn, out, ins, tile, flops_per_point, label)
+
+    def _stencil_apply(
+        self,
+        fn: Callable[..., None],
+        out: DistGrid,
+        ins: tuple[DistGrid, ...],
+        region: tuple[slice, ...],
+        flops_per_point: float,
+        label: str,
+    ) -> None:
         out_view = out.interior[region]
+        if out_view.size == 0:
+            return
         stencils = [StencilView(g, region) for g in ins]
         if flops_per_point:
             self.comm.charge(flops_per_point * out_view.size, label=label, working_set_bytes=self.working_set)
         fn(out_view, *stencils)
+
+    @_instrumented
+    def overlapped_update(
+        self,
+        ins: list[DistGrid],
+        apply: Callable[[tuple[slice, ...]], None],
+        periodic: tuple[bool, ...] | bool = False,
+        fill_edges: str | None = None,
+        flops_per_point: float = 0.0,
+        overlap: bool | None = None,
+        label: str = "overlapped_update",
+    ) -> None:
+        """Packed ghost refresh of *ins* followed by a regionised update.
+
+        The workhorse of multi-grid stencil codes (FDTD, CFD): all *ins*
+        are exchanged in one message per neighbour per direction, and
+        *apply* is called with slice tuples (in owned-interior
+        coordinates) covering every owned cell exactly once.  *apply*
+        must compute the update restricted to the given region — any
+        composition of elementwise expressions over ghost-shifted reads
+        qualifies, and produces bitwise-identical results however the
+        region is tiled.
+
+        Blocking mode exchanges, optionally fills physical-edge ghosts
+        (*fill_edges* as in :meth:`DistGrid.fill_edge_ghosts`), and calls
+        *apply* once on the full owned region.  Overlap mode posts the
+        packed exchange, fills edges, updates the deep cells while slabs
+        travel, completes the exchange, and updates the shell tiles.
+        Corner/edge ghosts are stale in overlap mode (star stencils only).
+        """
+        if not ins:
+            raise ArchetypeError("overlapped_update needs at least one grid")
+        first = ins[0]
+        self._check_compatible(first, tuple(ins[1:]))
+        ghost = first.ghost
+        for g in ins:
+            if g.ghost != ghost:
+                raise ArchetypeError(
+                    "overlapped_update grids must share one ghost width; got "
+                    f"{g.ghost} vs {ghost}"
+                )
+        if ghost < 1:
+            raise ArchetypeError("overlapped_update needs ghost width >= 1")
+        use_overlap = self.overlap if overlap is None else overlap
+        region = tuple(slice(0, n) for n in first.interior.shape)
+        locals_ = [g.local for g in ins]
+        if not use_overlap:
+            exchange_ghosts_many(self.comm, locals_, first.cart, ghost, periodic)
+            if fill_edges is not None:
+                for g in ins:
+                    g.fill_edge_ghosts(fill_edges)
+            self._apply_region(apply, region, flops_per_point, label)
+            return
+        handle = exchange_ghosts_many_start(
+            self.comm, locals_, first.cart, ghost, periodic
+        )
+        if fill_edges is not None:
+            # Physical-edge ghosts have no neighbour, so filling them does
+            # not race the in-flight slabs (which target interior-facing
+            # faces; their overlap is confined to unread corner cells).
+            for g in ins:
+                g.fill_edge_ghosts(fill_edges)
+        deep, shells = split_deep_shell(region, ghost, first.interior.shape)
+        self._apply_region(apply, deep, flops_per_point, label)
+        handle.wait()
+        for tile in shells:
+            self._apply_region(apply, tile, flops_per_point, label)
+
+    def _apply_region(
+        self,
+        apply: Callable[[tuple[slice, ...]], None],
+        region: tuple[slice, ...],
+        flops_per_point: float,
+        label: str,
+    ) -> None:
+        npoints = 1
+        for s in region:
+            npoints *= max(s.stop - s.start, 0)
+        if npoints == 0:
+            return
+        if flops_per_point:
+            self.comm.charge(
+                flops_per_point * npoints, label=label, working_set_bytes=self.working_set
+            )
+        apply(region)
 
     # -- row / column operations ---------------------------------------------------
     def _require_whole_axis(self, grid: DistGrid, axis: int, what: str) -> None:

@@ -70,6 +70,10 @@ class MachineModel:
     RECV_ALPHA_FRACTION = 0.35
     #: receiver copy cost, as a fraction of beta per byte
     RECV_BETA_FRACTION = 0.25
+    #: sender software overhead (nonblocking post), as a fraction of alpha
+    SEND_ALPHA_FRACTION = 0.35
+    #: sender copy-to-wire cost (nonblocking post), as a fraction of beta
+    SEND_BETA_FRACTION = 0.25
 
     # -- communication ---------------------------------------------------
     def message_time(self, nbytes: int, nodes: int = 2) -> float:
@@ -80,6 +84,30 @@ class MachineModel:
             raise ReproError(f"negative message size {nbytes}")
         congestion = 1.0 + self.congestion_per_node * max(nodes - 2, 0)
         return (self.alpha + self.beta * nbytes) * congestion
+
+    def send_overhead(self, nbytes: int, nodes: int = 2) -> float:
+        """Sender-side time to *post* one message without waiting for it.
+
+        This is the overlap-aware cost path: a blocking send charges the
+        full :meth:`message_time` (store-and-forward), while a
+        nonblocking ``isend`` charges only this software/injection
+        overhead and lets the wire transfer proceed concurrently with
+        whatever the sender does next.  Waiting on the send's request
+        synchronises with the transfer's completion, so
+        ``isend`` + immediate ``wait`` costs exactly one blocking send,
+        and ``isend`` + compute + ``wait`` costs
+        ``max(compute, message_time) + send_overhead``-style totals —
+        the max-instead-of-sum accounting documented in
+        docs/performance_model.md.  Always ``<= message_time`` (the
+        fractions are below 1), so overlap never makes a program slower.
+        """
+        if nbytes < 0:
+            raise ReproError(f"negative message size {nbytes}")
+        congestion = 1.0 + self.congestion_per_node * max(nodes - 2, 0)
+        return (
+            self.SEND_ALPHA_FRACTION * self.alpha
+            + self.SEND_BETA_FRACTION * self.beta * nbytes
+        ) * congestion
 
     def recv_overhead(self, nbytes: int, nodes: int = 2) -> float:
         """Receiver-side time to ingest one message.

@@ -12,8 +12,11 @@ Trace Event Format understood by https://ui.perfetto.dev and
   the tail up to the run's makespan, so load imbalance is visible at a
   glance;
 - a flow arrow (``"ph": "s"`` → ``"ph": "f"``) per message, drawn from
-  the send slice to the matched recv slice;
-- instant events (``"ph": "i"``) for wildcard match decisions.
+  the send slice to the matched recv slice (the finish point is the
+  message's *arrival* — for nonblocking transfers that is after the
+  send slice ends, the wire draining while the sender computes);
+- instant events (``"ph": "i"``) for wildcard match decisions and
+  request lifecycle marks (isend/irecv posts and completions).
 
 Virtual seconds map to trace microseconds (the format's native unit).
 :func:`validate_chrome_trace` checks the structural rules this module
@@ -27,7 +30,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.trace.events import CommEvent, ComputeEvent, MatchEvent
+from repro.trace.events import CommEvent, ComputeEvent, MatchEvent, RequestEvent
 from repro.trace.tracer import Tracer
 from repro.obs.critical import pair_messages, trace_makespan
 
@@ -121,6 +124,24 @@ def chrome_trace(tracer: Tracer) -> dict:
                         "args": {"candidates": list(ev.candidates)},
                     }
                 )
+            elif isinstance(ev, RequestEvent):
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": 0,
+                        "tid": rank,
+                        "name": f"{ev.kind} {ev.op} #{ev.req_id}",
+                        "cat": "request",
+                        "ts": ev.start * _US,
+                        "s": "t",
+                        "args": {
+                            "peer": ev.peer,
+                            "tag": ev.tag,
+                            "nbytes": ev.nbytes,
+                            "req_id": ev.req_id,
+                        },
+                    }
+                )
             elif isinstance(ev, CommEvent):
                 name = (
                     f"send -> {ev.peer}" if ev.kind == "send" else f"recv <- {ev.peer}"
@@ -140,9 +161,11 @@ def chrome_trace(tracer: Tracer) -> dict:
 
     for flow_id, pair in enumerate(pair_messages(tracer), start=1):
         # Arrow from inside the send slice to inside the recv slice: the
-        # binding point is the arrival (sender's post-send clock), clamped
-        # into the recv slice for receives that did not wait.
-        arrival = min(max(pair.send.end, pair.recv.start), pair.recv.end)
+        # binding point is the message's arrival stamp (for nonblocking
+        # sends that is after the send slice — the wire drains while the
+        # sender computes), clamped into the recv slice for receives that
+        # did not wait.
+        arrival = min(max(pair.arrival, pair.recv.start), pair.recv.end)
         events.append(
             {
                 "ph": "s",

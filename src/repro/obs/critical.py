@@ -47,9 +47,23 @@ class MessagePair:
     recv: CommEvent
 
     @property
+    def arrival(self) -> float:
+        """When the message reached the receiver's mailbox (virtual time).
+
+        Prefers the arrival stamp recorded on either event (nonblocking
+        transfers end their send event at the post overhead, well before
+        the wire drains); a blocking send's end *is* the arrival.
+        """
+        if self.recv.arrival >= 0.0:
+            return self.recv.arrival
+        if self.send.arrival >= 0.0:
+            return self.send.arrival
+        return self.send.end
+
+    @property
     def wait(self) -> float:
         """Virtual time the receiver spent waiting for this message."""
-        return min(max(self.send.end - self.recv.start, 0.0), self.recv.duration)
+        return min(max(self.arrival - self.recv.start, 0.0), self.recv.duration)
 
 
 def pair_messages(tracer: Tracer) -> list[MessagePair]:
@@ -219,9 +233,17 @@ def critical_path(tracer: Tracer) -> CriticalPathReport:
             sender = send_of.get(id(ev))
             if sender is not None:
                 send_ev = events[sender[0]][sender[1]]
-                # The send binds when it ended later than the local
-                # predecessor did (i.e. the receiver actually waited).
-                if pred is None or send_ev.end > events[pred[0]][pred[1]].end:
+                # The send binds when the message's *arrival* is later
+                # than the local predecessor's end (i.e. the receiver
+                # actually waited on the wire).  For nonblocking sends the
+                # send event ends at the post overhead, so compare against
+                # the arrival stamp; a blocking send's end is its arrival.
+                arrival = ev.arrival
+                if arrival < 0.0:
+                    arrival = (
+                        send_ev.arrival if send_ev.arrival >= 0.0 else send_ev.end
+                    )
+                if pred is None or arrival > events[pred[0]][pred[1]].end:
                     pred = sender
         released = events[pred[0]][pred[1]].end if pred is not None else 0.0
         segments.append(

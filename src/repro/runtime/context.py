@@ -24,7 +24,9 @@ import numpy as np
 
 from repro.errors import CommError
 from repro.machines.model import MachineModel
+from repro.obs.metrics import TIME_BUCKETS, get_registry
 from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
+from repro.runtime.request import Request
 from repro.runtime.scheduler import Backend
 from repro.trace.tracer import Tracer
 from repro.util.nbytes import nbytes_of
@@ -61,6 +63,7 @@ class _Endpoint:
     clock: float = 0.0
     send_seq: int = 0
     next_ctx: int = field(default=1)
+    next_req: int = 0
 
 
 class RankContext:
@@ -237,16 +240,317 @@ class RankContext:
             global_source, tag, self._ctx
         )
 
+    # -- nonblocking point-to-point -----------------------------------------
+    #
+    # Cost model: ``isend`` charges only the sender-side post overhead and
+    # records the wire-completion time on the request; ``irecv`` is free to
+    # post.  Completion (``wait``/``waitall``) advances the clock to at
+    # least the transfer's finish time, so compute performed between post
+    # and wait is absorbed into ``max(compute, transfer)`` — the
+    # compute/communication overlap the archetypes exploit.  An isend (or
+    # irecv) followed immediately by its wait costs exactly the blocking
+    # call, by construction.
+    #
+    # ``waitall`` observes completions in whatever order the backend
+    # reports (the fuzzer perturbs this) but *charges* them in a canonical
+    # order, so virtual clocks stay schedule-independent.  ``waitany`` is
+    # inherently order-sensitive, like a wildcard receive, and is charged
+    # at the observed completion.
+
+    def _new_req_id(self) -> int:
+        rid = self._endpoint.next_req
+        self._endpoint.next_req += 1
+        return rid
+
+    def isend(self, dest: int, payload: Any, tag: int = 0) -> Request:
+        """Post a nonblocking send; complete it with ``wait``/``waitall``.
+
+        The payload is copied at post time (send-by-value, as for
+        :meth:`send`) and delivered with the same arrival stamp a blocking
+        send would produce; only the post overhead is charged here.
+        """
+        self.check_peer(dest)
+        if tag < 0:
+            raise CommError(f"tags must be >= 0 (got {tag}); negatives are wildcards")
+        payload = _copy_payload(payload)
+        nbytes = nbytes_of(payload)
+        start = self.clock
+        arrival = start + self.machine.message_time(nbytes, nodes=self.size)
+        self.clock += self.machine.send_overhead(nbytes, nodes=self.size)
+        self._endpoint.send_seq += 1
+        msg = Message(
+            source=self.global_rank,
+            dest=self._to_global(dest),
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            arrival=arrival,
+            seq=self._endpoint.send_seq,
+            ctx=self._ctx,
+        )
+        self._backend.deliver(msg)
+        req = Request(
+            "send",
+            self,
+            self._new_req_id(),
+            dest,
+            tag,
+            nbytes,
+            posted_at=start,
+            complete_at=arrival,
+        )
+        get_registry().counter(
+            "comm.requests.posted", help="nonblocking requests posted"
+        ).inc()
+        if self._tracer is not None:
+            self._tracer.comm(
+                self.global_rank,
+                "send",
+                msg.dest,
+                tag,
+                nbytes,
+                start,
+                self.clock,
+                arrival=arrival,
+            )
+            self._tracer.request(
+                self.global_rank, self.clock, "isend", "post", req.req_id,
+                msg.dest, tag, nbytes,
+            )
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Post a nonblocking receive pattern; costs nothing until waited.
+
+        Posting pins the match: the pattern binds to the earliest pending
+        match now (or the next matching delivery), and a bound message can
+        no longer be stolen by other receives — MPI posted-receive
+        semantics.
+        """
+        if source != ANY_SOURCE:
+            self.check_peer(source)
+        global_source = source if source == ANY_SOURCE else self._to_global(source)
+        post_id = self._backend.post_receive(
+            self.global_rank, global_source, tag, self._ctx
+        )
+        req = Request(
+            "recv",
+            self,
+            self._new_req_id(),
+            source,
+            tag,
+            0,
+            posted_at=self.clock,
+            post_id=post_id,
+        )
+        get_registry().counter(
+            "comm.requests.posted", help="nonblocking requests posted"
+        ).inc()
+        if self._tracer is not None:
+            self._tracer.request(
+                self.global_rank, self.clock, "irecv", "post", req.req_id,
+                global_source, tag, 0,
+            )
+        return req
+
+    def _check_request(self, request: Request) -> None:
+        if request.owner._endpoint is not self._endpoint:
+            raise CommError(
+                f"request #{request.req_id} belongs to rank "
+                f"{request.owner.global_rank}, not rank {self.global_rank}"
+            )
+
+    def _complete_send(self, request: Request) -> None:
+        """Charge a send completion: wait out the wire if it hasn't drained."""
+        owner = request.owner
+        pre = owner.clock
+        owner.clock = max(owner.clock, request.complete_at)
+        request.done = True
+        registry = get_registry()
+        registry.counter(
+            "comm.requests.completed", help="nonblocking requests completed"
+        ).inc()
+        registry.histogram(
+            "comm.requests.wait_seconds",
+            buckets=TIME_BUCKETS,
+            help="virtual time spent blocked completing a request",
+        ).observe(max(0.0, request.complete_at - pre))
+        if owner._tracer is not None:
+            owner._tracer.request(
+                owner.global_rank, owner.clock, "isend", "complete",
+                request.req_id, owner._to_global(request.peer), request.tag,
+                request.nbytes,
+            )
+
+    def _complete_recv(self, request: Request, msg: Message) -> None:
+        """Charge a receive completion and store the matched envelope."""
+        owner = request.owner
+        pre = owner.clock
+        owner.clock = max(owner.clock, msg.arrival)
+        owner.clock += owner.machine.recv_overhead(msg.nbytes, nodes=owner.size)
+        request.nbytes = msg.nbytes
+        registry = get_registry()
+        registry.counter(
+            "comm.requests.completed", help="nonblocking requests completed"
+        ).inc()
+        registry.histogram(
+            "comm.requests.wait_seconds",
+            buckets=TIME_BUCKETS,
+            help="virtual time spent blocked completing a request",
+        ).observe(max(0.0, msg.arrival - pre))
+        if owner._tracer is not None:
+            owner._tracer.comm(
+                owner.global_rank,
+                "recv",
+                msg.source,
+                msg.tag,
+                msg.nbytes,
+                pre,
+                owner.clock,
+                arrival=msg.arrival,
+            )
+            owner._tracer.request(
+                owner.global_rank, owner.clock, "irecv", "complete",
+                request.req_id, msg.source, msg.tag, msg.nbytes,
+            )
+        if owner._group is not None:
+            msg = replace(msg, source=owner._to_local(msg.source))
+        request.message = msg
+        request.done = True
+
+    def wait(self, request: Request) -> Any:
+        """Complete one request; returns the payload for receives."""
+        self._check_request(request)
+        if request.done:
+            return request.payload if request.kind == "recv" else None
+        if request.kind == "send":
+            self._complete_send(request)
+            return None
+        rank = self.global_rank
+        if not self._backend.post_ready(rank, request.post_id):
+            describe = (
+                f"wait(recv #{request.req_id}, "
+                f"source={'ANY' if request.peer == ANY_SOURCE else request.peer}, "
+                f"tag={'ANY' if request.tag == ANY_TAG else request.tag}, "
+                f"ctx={self._ctx})"
+            )
+            self._backend.wait_any_post(rank, [request.post_id], describe)
+        msg = self._backend.take_post(rank, request.post_id)
+        self._complete_recv(request, msg)
+        return request.payload
+
+    def waitall(self, requests: list[Request]) -> list[Any]:
+        """Complete every request; returns payloads (None at send slots).
+
+        Completions are *observed* in backend order — the schedule fuzzer
+        perturbs which fulfilled receive is drained first — but *charged*
+        canonically (sends in list order, then receives sorted by arrival),
+        so the virtual clock is independent of the observation order.
+        """
+        for request in requests:
+            self._check_request(request)
+        rank = self.global_rank
+        pending = {
+            r.post_id: r for r in requests if r.kind == "recv" and not r.done
+        }
+        describe = f"waitall({len(requests)} requests, ctx={self._ctx})"
+        fulfilled: list[tuple[Request, Message]] = []
+        while pending:
+            ready = self._backend.wait_any_post(rank, list(pending), describe)
+            candidates = [
+                (m.source, m.tag)
+                for m in (self._backend.peek_post(rank, pid) for pid in ready)
+            ]
+            pos = self._backend.choose_completion(rank, candidates)
+            post_id = ready[pos]
+            msg = self._backend.take_post(rank, post_id)
+            fulfilled.append((pending.pop(post_id), msg))
+        for request in requests:
+            if request.kind == "send" and not request.done:
+                self._complete_send(request)
+        fulfilled.sort(key=lambda pair: (pair[1].arrival, pair[1].source, pair[1].seq))
+        for request, msg in fulfilled:
+            self._complete_recv(request, msg)
+        return [r.payload if r.kind == "recv" else None for r in requests]
+
+    def waitany(self, requests: list[Request]) -> tuple[int, Any]:
+        """Complete exactly one incomplete request; returns (index, payload).
+
+        Which request completes first is schedule-dependent (the fuzzer
+        perturbs it), so — like a wildcard receive — the charge is applied
+        at the observed completion rather than canonically.
+        """
+        for request in requests:
+            self._check_request(request)
+        incomplete = [(i, r) for i, r in enumerate(requests) if not r.done]
+        if not incomplete:
+            raise CommError("waitany requires at least one incomplete request")
+        rank = self.global_rank
+        ready = [
+            (i, r)
+            for i, r in incomplete
+            if r.kind == "send" or self._backend.post_ready(rank, r.post_id)
+        ]
+        if not ready:
+            describe = f"waitany({len(incomplete)} requests, ctx={self._ctx})"
+            got = set(
+                self._backend.wait_any_post(
+                    rank, [r.post_id for _, r in incomplete], describe
+                )
+            )
+            ready = [(i, r) for i, r in incomplete if r.post_id in got]
+        candidates = []
+        for _, r in ready:
+            if r.kind == "send":
+                candidates.append((self._to_global(r.peer), r.tag))
+            else:
+                m = self._backend.peek_post(rank, r.post_id)
+                candidates.append((m.source, m.tag))
+        pos = self._backend.choose_completion(rank, candidates)
+        index, request = ready[pos]
+        if request.kind == "send":
+            self._complete_send(request)
+            return index, None
+        self._complete_recv(request, self._backend.take_post(rank, request.post_id))
+        return index, request.payload
+
+    def test(self, request: Request) -> bool:
+        """True when *request* can complete without blocking the schedule.
+
+        A true result means ``wait`` would not suspend the rank; it may
+        still advance the virtual clock (the transfer finishing later in
+        virtual time than "now" models post/wire pipelining).
+        """
+        self._check_request(request)
+        if request.done:
+            return True
+        if request.kind == "send":
+            return self.clock >= request.complete_at
+        return self._backend.post_ready(self.global_rank, request.post_id)
+
     # -- exchange helper -------------------------------------------------------
     def sendrecv(
         self,
-        dest: int,
+        dest: int | None,
         payload: Any,
-        source: int,
+        source: int | None,
         send_tag: int = 0,
         recv_tag: int | None = None,
     ) -> Any:
-        """Send to *dest* and receive from *source* (deadlock-free because
-        sends are buffered)."""
-        self.send(dest, payload, tag=send_tag)
-        return self.recv(source, tag=send_tag if recv_tag is None else recv_tag)
+        """Send to *dest* and receive from *source* as one deadlock-free,
+        overlapped exchange; returns the received payload.
+
+        Either peer may be ``None`` to skip that direction (the boundary
+        of a non-periodic shifted exchange), in which case a skipped
+        receive returns ``None``.
+        """
+        recv_tag = send_tag if recv_tag is None else recv_tag
+        requests: list[Request] = []
+        recv_req: Request | None = None
+        if source is not None:
+            recv_req = self.irecv(source, tag=recv_tag)
+            requests.append(recv_req)
+        if dest is not None:
+            requests.append(self.isend(dest, payload, tag=send_tag))
+        self.waitall(requests)
+        return None if recv_req is None else recv_req.payload

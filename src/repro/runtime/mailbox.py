@@ -6,14 +6,35 @@ what a receive on the modelled machine would see.  Same-source same-tag
 messages have monotonically increasing arrivals, so MPI's non-overtaking
 guarantee holds.  Synchronisation is the backend's job; the mailbox
 itself is a plain data structure.
+
+Posted receives (the nonblocking layer's half of matching): a rank may
+*post* a (source, tag, ctx) pattern ahead of time with :meth:`post`.  A
+post binds immediately to the best pending match if one exists;
+otherwise the next delivered matching message binds to the oldest
+matching unposted record — MPI's posted-receive-queue semantics.  Bound
+messages leave the pending queue, so a concurrent blocking receive can
+never steal a message already claimed by a posted request.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from collections import deque
 
+from repro.errors import ReproError
 from repro.obs.metrics import COUNT_BUCKETS, get_registry
 from repro.runtime.message import Message
+
+
+@dataclass
+class _PostedRecv:
+    """One posted (nonblocking) receive awaiting or holding its message."""
+
+    post_id: int
+    source: int
+    tag: int
+    ctx: int
+    msg: Message | None = None
 
 
 class Mailbox:
@@ -21,17 +42,31 @@ class Mailbox:
 
     def __init__(self) -> None:
         self._pending: deque[Message] = deque()
+        # Posted receives in post order (dicts preserve insertion order);
+        # delivery binds to the oldest matching unfulfilled post first.
+        self._posts: dict[int, _PostedRecv] = {}
+        self._next_post_id = 0
 
     def __len__(self) -> int:
         return len(self._pending)
 
     def put(self, msg: Message) -> None:
-        """Append a delivered message (delivery order == matching order)."""
-        self._pending.append(msg)
+        """Deliver a message: bind it to the oldest matching unfulfilled
+        posted receive, else append to the pending queue (delivery order
+        == matching order)."""
         registry = get_registry()
         registry.counter(
             "runtime.mailbox.enqueued", help="messages delivered to mailboxes"
         ).inc()
+        for post in self._posts.values():
+            if post.msg is None and msg.matches(post.source, post.tag, post.ctx):
+                post.msg = msg
+                registry.counter(
+                    "runtime.mailbox.matched",
+                    help="messages removed by a matching receive",
+                ).inc()
+                return
+        self._pending.append(msg)
         registry.histogram(
             "runtime.mailbox.depth",
             buckets=COUNT_BUCKETS,
@@ -81,6 +116,48 @@ class Mailbox:
             "runtime.mailbox.matched", help="messages removed by a matching receive"
         ).inc()
         return msg
+
+    # -- posted receives ---------------------------------------------------
+    def post(self, source: int, tag: int, ctx: int = 0) -> int:
+        """Post a receive pattern; returns its post id.
+
+        If a matching message is already pending, the post binds to the
+        earliest-arriving one immediately (the same selection a blocking
+        receive would make); otherwise it binds to the next matching
+        delivery, in post order.
+        """
+        post = _PostedRecv(self._next_post_id, source, tag, ctx)
+        self._next_post_id += 1
+        msg = self.take_match(source, tag, ctx)
+        if msg is not None:
+            post.msg = msg
+        self._posts[post.post_id] = post
+        get_registry().counter(
+            "runtime.mailbox.posted", help="receive patterns posted (irecv)"
+        ).inc()
+        return post.post_id
+
+    def post_ready(self, post_id: int) -> bool:
+        """True when the posted receive has its message bound."""
+        return self._posts[post_id].msg is not None
+
+    def peek_post(self, post_id: int) -> Message:
+        """The message bound to a fulfilled posted receive, not removed."""
+        post = self._posts[post_id]
+        if post.msg is None:
+            raise ReproError(f"posted receive {post_id} peeked before fulfilment")
+        return post.msg
+
+    def take_post(self, post_id: int) -> Message:
+        """Remove a fulfilled posted receive and return its message."""
+        post = self._posts.pop(post_id)
+        if post.msg is None:
+            raise ReproError(f"posted receive {post_id} taken before fulfilment")
+        return post.msg
+
+    def posts_pending(self) -> int:
+        """How many posted receives are still unfulfilled (diagnostics)."""
+        return sum(1 for post in self._posts.values() if post.msg is None)
 
     def snapshot(self) -> list[Message]:
         """Copy of the pending queue (diagnostics only)."""

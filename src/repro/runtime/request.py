@@ -1,0 +1,107 @@
+"""Request handles for nonblocking point-to-point communication.
+
+A :class:`Request` is what ``isend``/``irecv`` return: a handle on an
+in-flight transfer that the owning rank later completes with ``wait``,
+``waitall``, or ``waitany``.  The handle records everything the virtual
+clock needs to charge the overlap-aware cost path:
+
+- a *send* request charged only the post overhead at ``isend`` time and
+  carries ``complete_at``, the virtual time the wire transfer finishes;
+  waiting on it advances the clock to at least that time (so an isend
+  followed immediately by a wait costs exactly one blocking send, and
+  compute performed in between is absorbed by the ``max``);
+- a *recv* request carries the mailbox post id; waiting on it advances
+  the clock to at least the message's arrival plus the receiver ingest
+  overhead — again, compute performed between post and wait shrinks the
+  idle portion.
+
+Requests belong to the context that created them; completing one from a
+different rank raises.  ``request.wait()`` is shorthand for
+``ctx.wait(request)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import CommError
+from repro.runtime.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import RankContext
+
+
+class Request:
+    """Handle on one in-flight nonblocking send or receive."""
+
+    __slots__ = (
+        "kind",
+        "owner",
+        "req_id",
+        "peer",
+        "tag",
+        "nbytes",
+        "posted_at",
+        "complete_at",
+        "post_id",
+        "done",
+        "message",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        owner: "RankContext",
+        req_id: int,
+        peer: int,
+        tag: int,
+        nbytes: int,
+        posted_at: float,
+        complete_at: float = 0.0,
+        post_id: int = -1,
+    ):
+        #: ``"send"`` or ``"recv"``
+        self.kind = kind
+        #: the context that created (and must complete) this request
+        self.owner = owner
+        #: rank-unique id tying the post/complete trace markers together
+        self.req_id = req_id
+        #: peer rank in the owner communicator's numbering (or ANY_SOURCE)
+        self.peer = peer
+        self.tag = tag
+        #: payload size; for receives, filled in at completion
+        self.nbytes = nbytes
+        #: owner's virtual clock when the request was posted
+        self.posted_at = posted_at
+        #: sends only: virtual time the wire transfer completes
+        self.complete_at = complete_at
+        #: receives only: the mailbox post id
+        self.post_id = post_id
+        self.done = False
+        #: receives only: the matched envelope, after completion (source
+        #: expressed in the owner communicator's local numbering)
+        self.message: Message | None = None
+
+    @property
+    def payload(self) -> Any:
+        """The received payload (completed receive requests only)."""
+        if self.kind != "recv":
+            raise CommError("send requests carry no payload")
+        if not self.done or self.message is None:
+            raise CommError("request not yet completed; wait on it first")
+        return self.message.payload
+
+    def wait(self) -> Any:
+        """Complete this request on its owning rank (see ``ctx.wait``)."""
+        return self.owner.wait(self)
+
+    def test(self) -> bool:
+        """Non-blocking completion probe (see ``ctx.test``)."""
+        return self.owner.test(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "in-flight"
+        return (
+            f"<Request {self.kind} #{self.req_id} peer={self.peer} "
+            f"tag={self.tag} {state}>"
+        )

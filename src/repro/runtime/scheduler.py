@@ -119,6 +119,45 @@ class Backend:
     ) -> Message:
         raise NotImplementedError
 
+    # -- posted receives (the nonblocking layer) --------------------------
+    # The run-to-block backends mutate mailboxes only from the single
+    # running rank, so the base implementations need no locking; the
+    # threaded backend overrides them to serialise under the destination
+    # rank's condition lock.
+    def post_receive(self, rank: int, source: int, tag: int, ctx: int) -> int:
+        """Post a receive pattern on *rank*'s mailbox; returns a post id."""
+        return self.mailboxes[rank].post(source, tag, ctx)
+
+    def post_ready(self, rank: int, post_id: int) -> bool:
+        """True when the posted receive has a message bound (non-blocking)."""
+        return self.mailboxes[rank].post_ready(post_id)
+
+    def take_post(self, rank: int, post_id: int) -> Message:
+        """Remove a fulfilled posted receive and return its message."""
+        return self.mailboxes[rank].take_post(post_id)
+
+    def peek_post(self, rank: int, post_id: int) -> Message:
+        """The message bound to a fulfilled posted receive (not removed)."""
+        return self.mailboxes[rank].peek_post(post_id)
+
+    def wait_any_post(self, rank: int, post_ids: list[int], describe: str) -> list[int]:
+        """Block *rank* until at least one of its posted receives is
+        fulfilled; returns the fulfilled subset in post order."""
+        raise NotImplementedError
+
+    def choose_completion(self, rank: int, candidates: list[tuple[int, int]]) -> int:
+        """Pick which of several simultaneously-completable requests a
+        ``waitany``/``waitall`` observes first.
+
+        *candidates* is the canonical-order list of ``(source, tag)``
+        pairs; the return value is a position in it.  The default (and
+        the deterministic/threaded behaviour) is the first — virtual
+        clocks are charged canonically regardless, so this choice only
+        affects observation order.  The fuzzed backend randomises it and
+        records a completion :class:`~repro.trace.events.MatchEvent`.
+        """
+        return 0
+
     def run(self, bodies: list[Callable[[], None]]) -> None:
         """Execute one body per rank to completion; raise on failure."""
         raise NotImplementedError
@@ -153,6 +192,18 @@ class DeterministicBackend(Backend):
         msg = mailbox.take_match(source, tag, ctx)
         assert msg is not None, "scheduler resumed rank without a matching message"
         return msg
+
+    def wait_any_post(self, rank: int, post_ids: list[int], describe: str) -> list[int]:
+        mailbox = self.mailboxes[rank]
+        ready = [p for p in post_ids if mailbox.post_ready(p)]
+        if ready:
+            return ready
+        self._block(
+            rank, lambda: any(mailbox.post_ready(p) for p in post_ids), describe
+        )
+        ready = [p for p in post_ids if mailbox.post_ready(p)]
+        assert ready, "scheduler resumed rank without a fulfilled posted receive"
+        return ready
 
     def _block(self, rank: int, predicate: Callable[[], bool], describe: str) -> None:
         if self._abort:
@@ -381,6 +432,38 @@ class FuzzedBackend(DeterministicBackend):
             )
         return chosen
 
+    def wait_any_post(self, rank: int, post_ids: list[int], describe: str) -> list[int]:
+        self._check_crash(rank)
+        return super().wait_any_post(rank, post_ids, describe)
+
+    def choose_completion(self, rank: int, candidates: list[tuple[int, int]]) -> int:
+        """Randomise which fulfilled request a wait observes first.
+
+        Any completion order among simultaneously-fulfilled requests is
+        legal on a real machine; exploring them perturbs the scheduler
+        interleaving that follows (the rank re-blocks on the remaining
+        requests after each observation).  Each perturbed choice is
+        recorded as a completion :class:`~repro.trace.events.MatchEvent`
+        so the verification layer can report completion-order
+        nondeterminism alongside wildcard races.
+        """
+        if len(candidates) <= 1 or not self.perturb_matching:
+            return 0
+        pos = self._rng.randrange(len(candidates))
+        if self.tracer is not None:
+            source, tag = candidates[pos]
+            self.tracer.match(
+                rank=rank,
+                clock=self._clock_of(rank),
+                source=source,
+                tag=tag,
+                wildcard_source=False,
+                wildcard_tag=False,
+                candidates=tuple(sorted({src for src, _ in candidates})),
+                completion=True,
+            )
+        return pos
+
     # -- scheduling -------------------------------------------------------
     def _pick_next(self) -> int | None:
         self._step += 1
@@ -507,6 +590,48 @@ class ThreadedBackend(Backend):
                 msg = mailbox.take_match(source, tag, ctx)
                 if msg is not None:
                     return msg
+                if self._failed.is_set():
+                    raise _Aborted()
+                if waited >= self.deadlock_timeout:
+                    get_registry().counter(
+                        "runtime.scheduler.deadlocks", help="runs aborted as deadlocked"
+                    ).inc()
+                    raise DeadlockError(
+                        f"rank {rank} waited {waited:.1f}s for {describe}; "
+                        "presumed deadlock",
+                        waiting={rank: describe},
+                    )
+                cond.wait(step)
+                waited += step
+
+    # Posted-receive operations serialise with deliveries under the
+    # destination rank's condition lock (the mailbox itself is unlocked).
+    def post_receive(self, rank: int, source: int, tag: int, ctx: int) -> int:
+        with self._conds[rank]:
+            return self.mailboxes[rank].post(source, tag, ctx)
+
+    def post_ready(self, rank: int, post_id: int) -> bool:
+        with self._conds[rank]:
+            return self.mailboxes[rank].post_ready(post_id)
+
+    def take_post(self, rank: int, post_id: int) -> Message:
+        with self._conds[rank]:
+            return self.mailboxes[rank].take_post(post_id)
+
+    def peek_post(self, rank: int, post_id: int) -> Message:
+        with self._conds[rank]:
+            return self.mailboxes[rank].peek_post(post_id)
+
+    def wait_any_post(self, rank: int, post_ids: list[int], describe: str) -> list[int]:
+        cond = self._conds[rank]
+        mailbox = self.mailboxes[rank]
+        with cond:
+            waited = 0.0
+            step = 0.1
+            while True:
+                ready = [p for p in post_ids if mailbox.post_ready(p)]
+                if ready:
+                    return ready
                 if self._failed.is_set():
                     raise _Aborted()
                 if waited >= self.deadlock_timeout:

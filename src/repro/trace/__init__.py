@@ -6,7 +6,7 @@ counts, and time breakdowns — the quantities the archetype performance
 models of the paper's reference [32] are built from.
 """
 
-from repro.trace.events import CommEvent, ComputeEvent, Event, MatchEvent
+from repro.trace.events import CommEvent, ComputeEvent, Event, MatchEvent, RequestEvent
 from repro.trace.tracer import Tracer
 from repro.trace.analysis import TraceSummary, phase_breakdown, render_gantt, summarize
 
@@ -15,6 +15,7 @@ __all__ = [
     "CommEvent",
     "ComputeEvent",
     "MatchEvent",
+    "RequestEvent",
     "Tracer",
     "TraceSummary",
     "summarize",

@@ -35,11 +35,17 @@ class CommEvent(Event):
     peer: int = -1
     tag: int = 0
     nbytes: int = 0
+    #: virtual arrival time of the message (receiver side), when known.
+    #: For a nonblocking send the slice covers only the post overhead, so
+    #: ``end`` understates when the wire transfer finished; ``arrival``
+    #: carries the true completion for wait/critical-path accounting.
+    #: ``-1.0`` means not recorded (pre-request-layer events).
+    arrival: float = -1.0
 
 
 @dataclass(frozen=True)
 class MatchEvent(Event):
-    """A wildcard-receive match decision (recorded by the fuzzed backend).
+    """A nondeterministic matching decision (recorded by the fuzzed backend).
 
     ``source``/``tag`` identify the message actually taken;
     ``wildcard_source``/``wildcard_tag`` say which pattern fields of the
@@ -48,6 +54,13 @@ class MatchEvent(Event):
     at decision time.  ``len(candidates) > 1`` with a wildcard source is a
     *wildcard race*: the program's behaviour may depend on arrival order.
     ``start == end`` (the decision is instantaneous in virtual time).
+
+    ``completion=True`` marks the other flavour of legal nondeterminism:
+    a ``waitany``/``waitall`` over several fulfilled nonblocking requests
+    picked one completion order among many.  Those are recorded for
+    observability but are *not* wildcard races (the pattern fields are
+    concrete); :func:`repro.verify.races.scan_completion_races` reports
+    them separately.
     """
 
     source: int = -1
@@ -55,6 +68,26 @@ class MatchEvent(Event):
     wildcard_source: bool = False
     wildcard_tag: bool = False
     candidates: tuple[int, ...] = ()
+    completion: bool = False
+
+
+@dataclass(frozen=True)
+class RequestEvent(Event):
+    """Lifecycle marker of a nonblocking communication request.
+
+    ``kind`` is ``"isend"`` or ``"irecv"``; ``op`` is ``"post"`` or
+    ``"complete"``; ``req_id`` ties the two markers of one request
+    together (unique per rank).  ``start == end`` — the marker is an
+    instant; the virtual time the request occupied lives between its two
+    markers, overlapping whatever the rank computed in between.
+    """
+
+    kind: str = "isend"
+    op: str = "post"
+    req_id: int = -1
+    peer: int = -1
+    tag: int = 0
+    nbytes: int = 0
 
 
 @dataclass(frozen=True)

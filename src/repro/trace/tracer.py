@@ -8,7 +8,7 @@ which is also safe (list.append is atomic and each list has one writer).
 
 from __future__ import annotations
 
-from repro.trace.events import CommEvent, ComputeEvent, Event, MatchEvent
+from repro.trace.events import CommEvent, ComputeEvent, Event, MatchEvent, RequestEvent
 
 
 class Tracer:
@@ -31,6 +31,7 @@ class Tracer:
         nbytes: int,
         start: float,
         end: float,
+        arrival: float = -1.0,
     ) -> None:
         self.record(
             CommEvent(
@@ -41,6 +42,7 @@ class Tracer:
                 peer=peer,
                 tag=tag,
                 nbytes=nbytes,
+                arrival=arrival,
             )
         )
 
@@ -58,6 +60,7 @@ class Tracer:
         wildcard_source: bool,
         wildcard_tag: bool,
         candidates: tuple[int, ...],
+        completion: bool = False,
     ) -> None:
         self.record(
             MatchEvent(
@@ -69,6 +72,32 @@ class Tracer:
                 wildcard_source=wildcard_source,
                 wildcard_tag=wildcard_tag,
                 candidates=candidates,
+                completion=completion,
+            )
+        )
+
+    def request(
+        self,
+        rank: int,
+        clock: float,
+        kind: str,
+        op: str,
+        req_id: int,
+        peer: int,
+        tag: int,
+        nbytes: int,
+    ) -> None:
+        self.record(
+            RequestEvent(
+                rank=rank,
+                start=clock,
+                end=clock,
+                kind=kind,
+                op=op,
+                req_id=req_id,
+                peer=peer,
+                tag=tag,
+                nbytes=nbytes,
             )
         )
 

@@ -33,7 +33,7 @@ from repro.verify.explorer import (
     NondeterminismFinding,
     ScheduleExplorer,
 )
-from repro.verify.races import RaceFinding, scan_races
+from repro.verify.races import RaceFinding, scan_completion_races, scan_races
 
 __all__ = [
     "FaultPlan",
@@ -44,5 +44,6 @@ __all__ = [
     "ExplorationReport",
     "NondeterminismFinding",
     "RaceFinding",
+    "scan_completion_races",
     "scan_races",
 ]

@@ -30,7 +30,7 @@ from repro.machines.model import MachineModel
 from repro.runtime.scheduler import FaultPlan
 from repro.runtime.spmd import RunResult, fuzzed_schedule, spmd_run
 from repro.verify.digest import value_digest
-from repro.verify.races import RaceFinding, scan_races
+from repro.verify.races import RaceFinding, scan_completion_races, scan_races
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,9 @@ class ExplorationReport:
     findings: list[NondeterminismFinding] = field(default_factory=list)
     failures: list[FailureFinding] = field(default_factory=list)
     races: list[RaceFinding] = field(default_factory=list)
+    #: waitany/waitall completion-order choice points (informational —
+    #: canonical charging keeps waitall schedule-independent regardless)
+    completion_races: list[RaceFinding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -95,6 +98,12 @@ class ExplorationReport:
                 if key not in seen:
                     seen.add(key)
                     lines.append("  " + r.describe())
+        if self.completion_races:
+            distinct = {(r.rank, r.tag, r.candidates) for r in self.completion_races}
+            lines.append(
+                f"{len(self.completion_races)} completion-order observation(s) at "
+                f"{len(distinct)} distinct wait site(s) (informational)"
+            )
         return "\n".join(lines)
 
 
@@ -211,4 +220,5 @@ class ScheduleExplorer:
                     )
             if isinstance(result, RunResult):
                 report.races.extend(scan_races(result, seed))
+                report.completion_races.extend(scan_completion_races(result, seed))
         return report

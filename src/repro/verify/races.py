@@ -9,6 +9,14 @@ is not automatically a bug — a work-pool master taking results in any
 order is racy by design — but a racy receive feeding a
 schedule-dependent result is exactly how nondeterminism findings arise,
 so the explorer reports both side by side.
+
+Completion-order nondeterminism is tracked separately: a ``waitany`` /
+``waitall`` over several already-fulfilled nonblocking requests picks
+one completion order among many (the fuzzed backend records these as
+MatchEvents with ``completion=True``).  The request layer's canonical
+charging makes ``waitall`` schedule-independent regardless, so these are
+informational rather than findings; :func:`scan_completion_races` lists
+them for observability.
 """
 
 from __future__ import annotations
@@ -60,6 +68,39 @@ def scan_races(result: RunResult, seed: int) -> list[RaceFinding]:
             if (
                 isinstance(event, MatchEvent)
                 and event.wildcard_source
+                and len(event.candidates) > 1
+            ):
+                findings.append(
+                    RaceFinding(
+                        seed=seed,
+                        rank=event.rank,
+                        clock=event.start,
+                        tag=event.tag,
+                        chosen=event.source,
+                        candidates=event.candidates,
+                    )
+                )
+    return findings
+
+
+def scan_completion_races(result: RunResult, seed: int) -> list[RaceFinding]:
+    """Extract completion-order choice points from a traced (fuzzed) run.
+
+    A completion race is a ``waitany``/``waitall`` that found more than
+    one fulfilled request and picked one observation order among many.
+    Unlike wildcard races these cannot change ``waitall``'s virtual-time
+    accounting (charging is canonicalised by arrival order), but a
+    program branching on ``waitany``'s *index* is schedule-dependent in
+    the same way a wildcard receive is — so the explorer surfaces them.
+    """
+    if result.tracer is None:
+        return []
+    findings: list[RaceFinding] = []
+    for rank_events in result.tracer.events:
+        for event in rank_events:
+            if (
+                isinstance(event, MatchEvent)
+                and event.completion
                 and len(event.candidates) > 1
             ):
                 findings.append(

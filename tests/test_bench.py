@@ -152,19 +152,21 @@ class TestFigureExperimentsSmall:
 
 
 class TestBenchArtifact:
-    """PR 2 satellite: machine-readable results from `python -m repro.bench all`."""
+    """PR 3 satellite: machine-readable results from `python -m repro.bench all`."""
 
     def test_all_writes_schema_complete_artifact(self, tmp_path, capsys):
         import json
 
         from repro.bench.__main__ import FIGURE_MACHINES, FIGURES, main
 
-        out = tmp_path / "BENCH_PR2.json"
+        out = tmp_path / "BENCH_PR3.json"
         assert main(["all", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
-        assert data["artifact"] == "BENCH_PR2"
-        assert set(data["figures"]) == set(FIGURES)
+        assert data["artifact"] == "BENCH_PR3"
+        assert set(data["figures"]) == set(FIGURES) | {"fig_overlap"}
         for name, entry in data["figures"].items():
+            if name == "fig_overlap":
+                continue
             assert entry["machine"] == FIGURE_MACHINES[name]
             assert entry["description"]
             assert entry["curves"], name
@@ -176,8 +178,16 @@ class TestBenchArtifact:
                     assert point["speedup"] == pytest.approx(
                         point["t_seq"] / point["t_par"]
                     )
+        # The overlap ablation must show a measurable win on at least two
+        # machine models for every mesh app (the PR's acceptance gate).
+        rows = data["figures"]["fig_overlap"]["rows"]
+        machines = {r["machine"] for r in rows}
+        assert len(machines) >= 2
+        for machine in machines:
+            for row in (r for r in rows if r["machine"] == machine):
+                assert row["overlapped"] < row["blocking"], row
 
     def test_default_artifact_name(self):
         from repro.bench.__main__ import ARTIFACT
 
-        assert ARTIFACT == "BENCH_PR2.json"
+        assert ARTIFACT == "BENCH_PR3.json"

@@ -10,9 +10,12 @@ from repro.comm import CartGrid, block_layout, exchange_ghosts
 from repro.comm.boundary import (
     add_ghosts,
     exchange_ghosts_many,
+    exchange_ghosts_many_start,
+    exchange_ghosts_start,
     interior,
     strip_ghosts,
 )
+from tests.conftest import run_both_backends
 
 
 def _ghosted_sections(comm, full, grid_dims, ghost, fill=-1.0):
@@ -200,6 +203,194 @@ class TestExchangeMany:
         with pytest.raises(RankFailedError) as info:
             spmd_run(2, body)
         assert isinstance(info.value.original, DistributionError)
+
+
+class TestGhostCorrectness:
+    """PR 3 satellite: wide ghosts, corners, periodic wrap, degenerate grids."""
+
+    @pytest.mark.parametrize("ghost", [2, 3])
+    def test_corner_ghosts_wide(self, ghost):
+        """The sequential-axis exchange's two-hop rule fills corner ghost
+        blocks of any width from the diagonal neighbour."""
+        full = np.arange(12.0 * 12).reshape(12, 12)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (2, 2), ghost=ghost)
+            exchange_ghosts(comm, local, CartGrid((2, 2)), ghost=ghost)
+            (r0, r1), (c0, c1) = lay.rect(comm.rank)
+            g = ghost
+            if r0 >= g and c0 >= g:
+                assert np.array_equal(local[0:g, 0:g], full[r0 - g : r0, c0 - g : c0])
+            if r1 + g <= 12 and c1 + g <= 12:
+                assert np.array_equal(
+                    local[-g:, -g:], full[r1 : r1 + g, c1 : c1 + g]
+                )
+            if r0 >= g and c1 + g <= 12:
+                assert np.array_equal(
+                    local[0:g, -g:], full[r0 - g : r0, c1 : c1 + g]
+                )
+            # face ghosts of the full width
+            if r0 >= g:
+                assert np.array_equal(
+                    local[0:g, g:-g], full[r0 - g : r0, c0:c1]
+                )
+            return True
+
+        assert all(spmd_run(4, body).values)
+
+    @pytest.mark.parametrize("ghost", [2])
+    def test_periodic_wrap_wide(self, ghost):
+        """Periodic axes wrap ghost slabs of width > 1 modulo the domain."""
+        full = np.arange(8.0 * 8).reshape(8, 8)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (2, 2), ghost=ghost)
+            exchange_ghosts(
+                comm, local, CartGrid((2, 2)), ghost=ghost, periodic=True
+            )
+            (r0, r1), (c0, c1) = lay.rect(comm.rank)
+            g = ghost
+            rows_above = [(r0 - k) % 8 for k in range(g, 0, -1)]
+            assert np.array_equal(local[0:g, g:-g], full[np.ix_(rows_above, range(c0, c1))])
+            cols_left = [(c0 - k) % 8 for k in range(g, 0, -1)]
+            assert np.array_equal(local[g:-g, 0:g], full[np.ix_(range(r0, r1), cols_left)])
+            # periodic corners wrap on both axes (two-hop rule)
+            assert np.array_equal(
+                local[0:g, 0:g], full[np.ix_(rows_above, cols_left)]
+            )
+            return True
+
+        assert all(spmd_run(4, body).values)
+
+    def test_degenerate_single_rank_axis_periodic(self):
+        """An axis with one rank and periodic wrap exchanges with itself."""
+        full = np.arange(4.0 * 9).reshape(4, 9)
+
+        def body(comm):
+            lay, local = _ghosted_sections(comm, full, (1, 3), ghost=1)
+            exchange_ghosts(
+                comm, local, CartGrid((1, 3)), ghost=1, periodic=(True, False)
+            )
+            (r0, r1), (c0, c1) = lay.rect(comm.rank)
+            # axis 0 is unsplit: the "neighbour" is this rank itself, and
+            # the ghosts wrap this rank's own rows.
+            assert np.array_equal(local[0, 1:-1], full[3, c0:c1])
+            assert np.array_equal(local[-1, 1:-1], full[0, c0:c1])
+            return True
+
+        assert all(run_both_backends(3, body).values)
+
+    def test_degenerate_single_rank_axis_nonperiodic(self):
+        """An unsplit non-periodic axis leaves its ghosts untouched."""
+        full = np.ones((4, 9))
+
+        def body(comm):
+            _, local = _ghosted_sections(comm, full, (1, 3), ghost=1, fill=-3.0)
+            exchange_ghosts(comm, local, CartGrid((1, 3)), ghost=1)
+            assert np.all(local[0, :] == -3.0)
+            assert np.all(local[-1, :] == -3.0)
+            return True
+
+        assert all(spmd_run(3, body).values)
+
+    def test_fully_degenerate_grid(self):
+        """A 1x1 process grid with periodic wrap is pure self-exchange."""
+        full = np.arange(3.0 * 4).reshape(3, 4)
+
+        def body(comm):
+            _, local = _ghosted_sections(comm, full, (1, 1), ghost=1)
+            exchange_ghosts(comm, local, CartGrid((1, 1)), ghost=1, periodic=True)
+            assert np.array_equal(local[0, 1:-1], full[-1, :])
+            assert np.array_equal(local[1:-1, 0], full[:, -1])
+            return True
+
+        assert all(run_both_backends(1, body).values)
+
+
+def _face_slabs(shape, ghost):
+    """Selectors of the non-corner ghost slabs of every axis/side."""
+    ndim = len(shape)
+    out = []
+    for axis in range(ndim):
+        inner = tuple(
+            slice(ghost, shape[d] - ghost) for d in range(ndim) if d != axis
+        )
+        for sel_axis in (slice(0, ghost), slice(shape[axis] - ghost, shape[axis])):
+            sel = inner[:axis] + (sel_axis,) + inner[axis:]
+            out.append(sel)
+    return out
+
+
+class TestOverlappedExchange:
+    """The nonblocking face exchange agrees with the blocking path on the
+    owned cells and every face ghost (corners are out of contract — the
+    overlapped variant posts all axes at once, so there is no two-hop)."""
+
+    @pytest.mark.chaos(seeds=8)
+    @pytest.mark.parametrize("periodic", [False, True])
+    def test_single_matches_blocking_faces(self, periodic):
+        full = np.arange(8.0 * 12).reshape(8, 12)
+
+        def body(comm):
+            _, ov = _ghosted_sections(comm, full, (2, 2), ghost=2, fill=-5.0)
+            _, bl = _ghosted_sections(comm, full, (2, 2), ghost=2, fill=-5.0)
+            cart = CartGrid((2, 2))
+            handle = exchange_ghosts_start(comm, ov, cart, ghost=2, periodic=periodic)
+            handle.wait()
+            assert handle.done
+            handle.wait()  # idempotent
+            exchange_ghosts(comm, bl, cart, ghost=2, periodic=periodic)
+            assert np.array_equal(strip_ghosts(ov, 2), strip_ghosts(bl, 2))
+            for sel in _face_slabs(ov.shape, 2):
+                assert np.array_equal(ov[sel], bl[sel])
+            return True
+
+        assert all(run_both_backends(4, body).values)
+
+    @pytest.mark.chaos(seeds=8)
+    def test_packed_matches_blocking_faces(self):
+        full_a = np.arange(6.0 * 8).reshape(6, 8)
+        full_b = full_a * -2.0
+
+        def body(comm):
+            _, oa = _ghosted_sections(comm, full_a, (2, 1), ghost=1)
+            _, ob = _ghosted_sections(comm, full_b, (2, 1), ghost=1)
+            _, ba = _ghosted_sections(comm, full_a, (2, 1), ghost=1)
+            _, bb = _ghosted_sections(comm, full_b, (2, 1), ghost=1)
+            cart = CartGrid((2, 1))
+            handle = exchange_ghosts_many_start(comm, [oa, ob], cart, ghost=1)
+            handle.wait()
+            exchange_ghosts_many(comm, [ba, bb], cart, ghost=1)
+            for ov, bl in ((oa, ba), (ob, bb)):
+                assert np.array_equal(strip_ghosts(ov, 1), strip_ghosts(bl, 1))
+                for sel in _face_slabs(ov.shape, 1):
+                    assert np.array_equal(ov[sel], bl[sel])
+            return True
+
+        assert all(run_both_backends(2, body).values)
+
+    def test_concurrent_handles_pair_correctly(self):
+        """Two in-flight exchanges of different arrays bind FIFO per
+        channel and do not cross-deliver."""
+        full_a = np.arange(8.0 * 4).reshape(8, 4)
+        full_b = full_a + 100.0
+
+        def body(comm):
+            _, la = _ghosted_sections(comm, full_a, (2, 1), ghost=1)
+            _, lb = _ghosted_sections(comm, full_b, (2, 1), ghost=1)
+            cart = CartGrid((2, 1))
+            ha = exchange_ghosts_start(comm, la, cart, ghost=1)
+            hb = exchange_ghosts_start(comm, lb, cart, ghost=1)
+            hb.wait()
+            ha.wait()
+            lay = block_layout(full_a.shape, (2, 1))
+            (r0, r1), _ = lay.rect(comm.rank)
+            if r0 > 0:
+                assert np.array_equal(la[0, 1:-1], full_a[r0 - 1, :])
+                assert np.array_equal(lb[0, 1:-1], full_b[r0 - 1, :])
+            return True
+
+        assert all(run_both_backends(2, body).values)
 
 
 class TestExchangeErrors:

@@ -1,6 +1,5 @@
 """Branch-and-bound archetype and the knapsack application."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

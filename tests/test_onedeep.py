@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.onedeep import OneDeepDC, PhaseSpec, SplitterStrategy
+from repro.core.onedeep import OneDeepDC, PhaseSpec
 from repro.errors import ArchetypeError, RankFailedError
 from repro.machines.model import MachineModel
 

@@ -11,7 +11,6 @@ from repro.comm import (
     col_layout,
     redistribute,
     row_layout,
-    single_owner_layout,
 )
 from repro.comm.redistribute import gather_to_root, scatter_from_root
 

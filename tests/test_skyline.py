@@ -9,7 +9,6 @@ from repro.apps.skyline import (
     concat_region_skylines,
     cut_skyline,
     height_at,
-    merge_skylines,
     merge_two_skylines,
     one_deep_skyline,
     sequential_skyline,

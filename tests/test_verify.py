@@ -7,7 +7,7 @@ from repro import spmd_run
 from repro.comm import SUM
 from repro.errors import DeadlockError, InjectedFaultError, RankFailedError
 from repro.runtime.message import ANY_SOURCE
-from repro.runtime.scheduler import FaultPlan, FuzzedBackend
+from repro.runtime.scheduler import FaultPlan
 from repro.trace.events import MatchEvent
 from repro.verify import ScheduleExplorer, fuzzed_schedule, scan_races, value_digest
 from repro.verify.demo import (
