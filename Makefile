@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs-smoke chaos bench lint
+.PHONY: verify test obs-smoke chaos bench bench-wallclock lint
 
 # Default gate: lint (when ruff is available), tier-1 tests, and the
 # observability smoke check.
@@ -36,6 +36,13 @@ chaos:
 	$(PYTHON) -m pytest -q -m chaos
 
 # Reduced-scale sweep over every figure plus the blocking-vs-overlapped
-# exchange ablation; writes BENCH_PR3.json.
+# exchange ablation; writes BENCH_PR4.json.
 bench:
 	$(PYTHON) -m repro.bench all
+
+# Wall-clock fast-path smoke: one sample per mode, digest identity
+# checked, and a deliberately generous regression floor (typical
+# speedups are ~1.5-2x; 0.2x only trips if a change re-serialises the
+# hot path or breaks the off-mode baseline outright).
+bench-wallclock:
+	$(PYTHON) -m repro.bench wallclock --repeats 1 --min-speedup 0.2

@@ -5,17 +5,20 @@ Usage::
     python -m repro.bench fig06            # Figure 6 at default scale
     python -m repro.bench fig17 --json out.json
     python -m repro.bench overlap          # blocking vs overlapped A/B
+    python -m repro.bench wallclock        # simulator host-time ablation
     python -m repro.bench all              # every figure, reduced scale,
-                                           #   writes BENCH_PR3.json
+                                           #   writes BENCH_PR4.json
     python -m repro.bench list
 
 Each figure command runs the corresponding experiment, prints the
 speedup table and an ASCII plot, and optionally writes the series as
-JSON.  ``all`` sweeps every figure at a reduced problem scale, runs the
-blocking-vs-overlapped exchange ablation, and emits a machine-readable
-artifact (``BENCH_PR3.json``: per-figure predicted times, speedups,
-machine name, and the overlap ablation table) so the performance
-trajectory can be tracked across PRs.
+JSON.  ``wallclock`` measures *host* seconds for the messaging-heavy
+workloads with the fast path off vs on (virtual time is identical in
+both modes — that is checked).  ``all`` sweeps every figure at a
+reduced problem scale, runs the blocking-vs-overlapped exchange
+ablation and the wallclock ablation, and emits a machine-readable
+artifact (``BENCH_PR4.json``) so the performance trajectory can be
+tracked across PRs.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ import argparse
 import json
 import sys
 
-from repro.bench import figures
+from repro.bench import figures, wallclock
 from repro.bench.harness import SpeedupCurve
 from repro.bench.report import format_curves, render_ascii_plot
 
@@ -38,7 +41,7 @@ FIGURES = {
 }
 
 #: default output of ``python -m repro.bench all``
-ARTIFACT = "BENCH_PR3.json"
+ARTIFACT = "BENCH_PR4.json"
 
 #: machine model each figure runs on (matches the figure defaults)
 FIGURE_MACHINES = {
@@ -91,7 +94,7 @@ def render_overlap_table(rows: list[dict]) -> str:
 
 def run_all(json_path: str) -> int:
     """Sweep every figure at reduced scale and write the JSON artifact."""
-    report: dict = {"artifact": "BENCH_PR3", "figures": {}}
+    report: dict = {"artifact": "BENCH_PR4", "figures": {}}
     for name, (experiment, description) in FIGURES.items():
         curves = experiment(**FAST_PARAMS[name])
         entry = {
@@ -117,6 +120,21 @@ def run_all(json_path: str) -> int:
     }
     print()
     print(render_overlap_table(ablation))
+    rows = wallclock.run_ablation()
+    report["wallclock"] = {
+        "description": "simulator host-seconds, fast path off vs on "
+        "(virtual time identical)",
+        "procs": wallclock.DEFAULT_NPROCS,
+        "repeats": wallclock.DEFAULT_REPEATS,
+        "rows": [r.to_json() for r in rows],
+    }
+    print()
+    print(wallclock.render_table(rows))
+    problems = wallclock.check_rows(rows, min_speedup=None)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
     with open(json_path, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"\nartifact written to {json_path}")
@@ -130,14 +148,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[*FIGURES, "overlap", "all", "list"],
+        choices=[*FIGURES, "overlap", "wallclock", "all", "list"],
         help="figure to regenerate, 'overlap' for the blocking-vs-"
-        "overlapped exchange ablation, 'all' for the reduced-scale sweep "
+        "overlapped exchange ablation, 'wallclock' for the simulator "
+        "host-time ablation, 'all' for the reduced-scale sweep "
         f"(writes {ARTIFACT}), or 'list' to enumerate them",
     )
     parser.add_argument("--json", metavar="PATH", help="also write the series as JSON")
     parser.add_argument(
         "--no-plot", action="store_true", help="table only, skip the ASCII plot"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=wallclock.DEFAULT_REPEATS,
+        help="wallclock only: host-time samples per mode (best-of)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="wallclock only: fail unless every workload's fast-path "
+        "speedup is at least X (the CI smoke's generous regression floor)",
     )
     args = parser.parse_args(argv)
 
@@ -145,10 +178,23 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, description) in FIGURES.items():
             print(f"  {name}: {description}")
         print("  overlap: blocking vs overlapped ghost-exchange ablation")
+        print("  wallclock: simulator host-time ablation (fast path off vs on)")
         return 0
 
     if args.figure == "all":
         return run_all(args.json or ARTIFACT)
+
+    if args.figure == "wallclock":
+        rows = wallclock.run_ablation(repeats=args.repeats)
+        print(wallclock.render_table(rows))
+        problems = wallclock.check_rows(rows, min_speedup=args.min_speedup)
+        for p in problems:
+            print(f"FAIL: {p}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump([r.to_json() for r in rows], fh, indent=2)
+            print(f"\nseries written to {args.json}")
+        return 1 if problems else 0
 
     if args.figure == "overlap":
         rows = figures.overlap_ablation()

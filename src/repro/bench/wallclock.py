@@ -1,0 +1,178 @@
+"""Wall-clock ablation: how fast the *simulator itself* runs.
+
+Everything else in :mod:`repro.bench` measures virtual seconds on the
+modelled machine.  This module times real seconds on the host for the
+same workloads, with the wall-clock fast path (:mod:`repro.fastpath`:
+copy-on-write payloads, indexed mailboxes, metric handles, the heap
+scheduler) forced off and then on.  The two runs must be
+observationally identical — same per-rank virtual clocks, same values —
+which is checked here with a digest and proven more thoroughly by the
+A/B identity tests; the *only* thing allowed to change is the host time.
+
+Workloads are the messaging-heavy trio the observability CLI uses
+(Jacobi Poisson, 2-D FFT, one-deep mergesort) at 16 ranks, run without
+tracing so the measurement isolates the runtime hot path rather than
+trace-event appends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import fastpath
+from repro.machines.catalog import get_machine
+from repro.runtime.spmd import RunResult
+from repro.verify.digest import value_digest
+
+#: rank count for the ablation (the acceptance scale)
+DEFAULT_NPROCS = 16
+#: wall-clock samples per (workload, mode); best-of is reported
+DEFAULT_REPEATS = 3
+
+
+def _run_poisson(nprocs: int, scale: int = 1) -> RunResult:
+    from repro.apps.poisson import poisson_archetype
+
+    return poisson_archetype().run(
+        nprocs,
+        48,
+        48,
+        tolerance=0.0,
+        max_iters=8 * scale,
+        gather_solution=False,
+        machine=get_machine("ibm-sp"),
+        trace=False,
+    )
+
+
+def _run_fft2d(nprocs: int, scale: int = 1) -> RunResult:
+    from repro.apps.fft2d import fft2d_archetype
+
+    rng = np.random.default_rng(0)
+    array = rng.standard_normal((64, 64))
+    return fft2d_archetype().run(
+        nprocs, array, 2 * scale, machine=get_machine("ibm-sp"), trace=False
+    )
+
+
+def _run_mergesort(nprocs: int, scale: int = 1) -> RunResult:
+    from repro.apps.sorting.mergesort import one_deep_mergesort
+
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, np.iinfo(np.int64).max, size=4096 * scale)
+    return one_deep_mergesort().run(
+        nprocs, data, machine=get_machine("intel-delta"), trace=False
+    )
+
+
+WORKLOADS = {
+    "poisson": (_run_poisson, "Jacobi Poisson (mesh; ghost exchanges per sweep)"),
+    "fft2d": (_run_fft2d, "2-D FFT (spectral; all-to-all transposes)"),
+    "mergesort": (_run_mergesort, "one-deep mergesort (divide and conquer)"),
+}
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One workload's fast-path-off vs fast-path-on measurement."""
+
+    app: str
+    nprocs: int
+    wall_off: float  #: best-of-N host seconds, fast path off
+    wall_on: float  #: best-of-N host seconds, fast path on
+    virtual_elapsed: float  #: virtual makespan (identical in both modes)
+    digest: str  #: digest of (times, values) — identical in both modes
+    identical: bool  #: did both modes produce the same digest?
+
+    @property
+    def speedup(self) -> float:
+        """Host-time ratio off/on (>1 means the fast path helps)."""
+        return self.wall_off / self.wall_on if self.wall_on > 0 else float("inf")
+
+    def to_json(self) -> dict:
+        return {
+            "app": self.app,
+            "procs": self.nprocs,
+            "wall_off_seconds": self.wall_off,
+            "wall_on_seconds": self.wall_on,
+            "speedup": self.speedup,
+            "virtual_elapsed_seconds": self.virtual_elapsed,
+            "digest": self.digest,
+            "identical": self.identical,
+        }
+
+
+def _measure(runner, nprocs: int, scale: int, repeats: int, flag: bool):
+    """Best-of-*repeats* wall seconds with the fast path forced to *flag*."""
+    best = float("inf")
+    result: RunResult | None = None
+    with fastpath.forced(flag):
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = runner(nprocs, scale)
+            best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_ablation(
+    apps: list[str] | None = None,
+    nprocs: int = DEFAULT_NPROCS,
+    repeats: int = DEFAULT_REPEATS,
+    scale: int = 1,
+) -> list[AblationRow]:
+    """Run the off/on ablation for each workload; returns one row per app."""
+    rows: list[AblationRow] = []
+    for app in apps or list(WORKLOADS):
+        runner, _ = WORKLOADS[app]
+        wall_off, res_off = _measure(runner, nprocs, scale, repeats, False)
+        wall_on, res_on = _measure(runner, nprocs, scale, repeats, True)
+        digest_off = value_digest([res_off.times, res_off.values])
+        digest_on = value_digest([res_on.times, res_on.values])
+        rows.append(
+            AblationRow(
+                app=app,
+                nprocs=nprocs,
+                wall_off=wall_off,
+                wall_on=wall_on,
+                virtual_elapsed=max(res_on.times),
+                digest=digest_on,
+                identical=digest_off == digest_on,
+            )
+        )
+    return rows
+
+
+def render_table(rows: list[AblationRow]) -> str:
+    lines = [
+        "simulator wall-clock ablation (host seconds, best of N; virtual time unchanged)",
+        f"{'app':>10} {'P':>3} {'off (s)':>10} {'on (s)':>10} {'speedup':>8} "
+        f"{'virtual (s)':>12} {'identical':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.app:>10} {r.nprocs:>3} {r.wall_off:>10.4f} {r.wall_on:>10.4f} "
+            f"{r.speedup:>7.2f}x {r.virtual_elapsed:>12.6g} "
+            f"{'yes' if r.identical else 'NO':>9}"
+        )
+    return "\n".join(lines)
+
+
+def check_rows(rows: list[AblationRow], min_speedup: float | None) -> list[str]:
+    """Gate failures: digest mismatches always fail; *min_speedup* (when
+    given) is the generous regression floor the CI smoke applies so a
+    future change can't silently re-serialize the hot path."""
+    problems = []
+    for r in rows:
+        if not r.identical:
+            problems.append(
+                f"{r.app}: fast path changed observable results (digest mismatch)"
+            )
+        if min_speedup is not None and r.speedup < min_speedup:
+            problems.append(
+                f"{r.app}: fast-path speedup {r.speedup:.2f}x below the "
+                f"regression floor {min_speedup:.2f}x"
+            )
+    return problems

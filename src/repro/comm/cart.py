@@ -9,6 +9,7 @@ chooses a near-square process grid for a given P.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from math import prod
 
 from repro.errors import DistributionError
@@ -80,13 +81,14 @@ class CartGrid:
         return self.rank_of(tuple(coords))
 
 
+@lru_cache(maxsize=256)
 def choose_proc_grid(nprocs: int, ndim: int) -> tuple[int, ...]:
     """Factor *nprocs* into *ndim* near-equal dimensions (largest first).
 
     Mirrors ``MPI_Dims_create``: repeatedly assign the largest remaining
     prime factor to the currently smallest dimension, then sort
     descending so axis 0 (usually the longest data axis) gets the most
-    processes.
+    processes.  Pure in its arguments, so results are memoised.
     """
     if nprocs < 1 or ndim < 1:
         raise DistributionError(f"need nprocs >= 1 and ndim >= 1, got {nprocs}, {ndim}")

@@ -19,6 +19,7 @@ from typing import Any
 from repro.errors import CommError
 from repro.comm.reductions import Op
 from repro.runtime.context import RankContext
+from repro.util.nbytes import nbytes_of
 
 #: user tags must stay below this value
 MAX_USER_TAG = 1 << 20
@@ -42,16 +43,26 @@ class Comm(RankContext):
         self._coll_seq += 1
         return tag
 
-    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+    def send(
+        self, dest: int, payload: Any, tag: int = 0, *, nbytes: int | None = None
+    ) -> None:
         if 0 <= tag < MAX_USER_TAG or tag >= _COLL_TAG_BASE:
-            super().send(dest, payload, tag)
+            super().send(dest, payload, tag, nbytes=nbytes)
         else:
             raise CommError(f"user tags must be < {MAX_USER_TAG} (got {tag})")
 
-    def isend(self, dest: int, payload: Any, tag: int = 0):
+    def isend(
+        self, dest: int, payload: Any, tag: int = 0, *, nbytes: int | None = None
+    ):
         if 0 <= tag < MAX_USER_TAG or tag >= _COLL_TAG_BASE:
-            return super().isend(dest, payload, tag)
+            return super().isend(dest, payload, tag, nbytes=nbytes)
         raise CommError(f"user tags must be < {MAX_USER_TAG} (got {tag})")
+
+    def _validate_send_tag(self, tag: int) -> None:
+        # Mirror of send/isend's user-tag window, for the fused sendrecv
+        # fast path (which bypasses those wrappers).
+        if not (0 <= tag < MAX_USER_TAG or tag >= _COLL_TAG_BASE):
+            raise CommError(f"user tags must be < {MAX_USER_TAG} (got {tag})")
 
     def _check_root(self, root: int) -> None:
         if not 0 <= root < self.size:
@@ -119,11 +130,13 @@ class Comm(RankContext):
         if self.size == 1:
             return value
         relrank = (self.rank - root) % self.size
+        nbytes: int | None = None
         mask = 1
         while mask < self.size:
             if relrank & mask:
                 src = (relrank - mask + root) % self.size
-                value = self.recv(src, tag=tag)
+                msg = self.recv_msg(src, tag=tag)
+                value, nbytes = msg.payload, msg.nbytes
                 break
             mask <<= 1
         # Forward to children: relrank + mask/2, mask/4, ..., 1.  On break,
@@ -131,10 +144,15 @@ class Comm(RankContext):
         # root the loop ended with the first power of two >= size.  Either
         # way the children start one bit below.
         mask >>= 1
+        if mask > 0 and nbytes is None:
+            # The root measures its buffer once; every other hop reuses
+            # the received envelope's size instead of re-traversing the
+            # same payload per child.
+            nbytes = nbytes_of(value)
         while mask > 0:
             if relrank + mask < self.size:
                 dst = (relrank + mask + root) % self.size
-                self.send(dst, value, tag=tag)
+                self.send(dst, value, tag=tag, nbytes=nbytes)
             mask >>= 1
         return value
 
@@ -146,18 +164,28 @@ class Comm(RankContext):
         tag = self._coll_tag()
         relrank = (self.rank - root) % self.size
         acc = value
+        # Known size of acc's payload, when an envelope already measured
+        # it (ops like min/max return an operand, so the accumulator is
+        # often exactly a received buffer).  None ⇒ send re-measures.
+        acc_nbytes: int | None = None
         mask = 1
         while mask < self.size:
             if relrank & mask:
                 dst = (((relrank & ~mask)) + root) % self.size
-                self.send(dst, acc, tag=tag)
+                self.send(dst, acc, tag=tag, nbytes=acc_nbytes)
                 break
             src_rel = relrank | mask
             if src_rel < self.size:
-                received = self.recv((src_rel + root) % self.size, tag=tag)
+                msg = self.recv_msg((src_rel + root) % self.size, tag=tag)
+                received = msg.payload
                 # The child's subtree covers higher relative ranks, so the
                 # canonical (rank-ordered) combination is acc `op` received.
-                acc = op(acc, received)
+                combined = op(acc, received)
+                if combined is received:
+                    acc_nbytes = msg.nbytes
+                elif combined is not acc:
+                    acc_nbytes = None
+                acc = combined
             mask <<= 1
         return acc if self.rank == root else None
 

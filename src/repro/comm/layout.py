@@ -12,6 +12,7 @@ global shape is a pure function of their rectangle intersections
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from math import prod
 
 from repro.errors import DistributionError
@@ -137,7 +138,16 @@ def block_layout(global_shape: tuple[int, ...], proc_grid: tuple[int, ...]) -> L
 
     Ranks map to process-grid coordinates in row-major order, matching
     :class:`repro.comm.cart.CartGrid`.
+
+    Layouts are immutable, so repeated requests for the same
+    (shape, grid) pair — every redistribution rebuilds its target
+    layout — return one shared cached instance.
     """
+    return _block_layout(tuple(global_shape), tuple(proc_grid))
+
+
+@lru_cache(maxsize=256)
+def _block_layout(global_shape: tuple[int, ...], proc_grid: tuple[int, ...]) -> Layout:
     _check_shape(global_shape)
     if len(proc_grid) != len(global_shape):
         raise DistributionError(
@@ -167,6 +177,13 @@ def single_owner_layout(
     global_shape: tuple[int, ...], nranks: int, owner: int = 0
 ) -> Layout:
     """All data on one rank; every other rank owns an empty rectangle."""
+    return _single_owner_layout(tuple(global_shape), nranks, owner)
+
+
+@lru_cache(maxsize=256)
+def _single_owner_layout(
+    global_shape: tuple[int, ...], nranks: int, owner: int
+) -> Layout:
     _check_shape(global_shape)
     if not 0 <= owner < nranks:
         raise DistributionError(f"owner {owner} out of range [0, {nranks})")

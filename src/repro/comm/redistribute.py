@@ -16,11 +16,41 @@ import numpy as np
 from repro.errors import DistributionError
 from repro.comm.communicator import Comm
 from repro.comm.layout import Layout, Rect
-from repro.obs.metrics import COUNT_BUCKETS, get_registry
+from repro.obs.metrics import COUNT_BUCKETS, counter_handle, histogram_handle
+
+_CALLS = counter_handle(
+    "comm.redistribute.calls", help="layout redistributions performed"
+)
+_BYTES = counter_handle(
+    "comm.redistribute.bytes", help="payload bytes shipped by redistributions"
+)
+_PARCELS = histogram_handle(
+    "comm.redistribute.parcels",
+    buckets=COUNT_BUCKETS,
+    help="non-empty parcels sent per rank per redistribution",
+)
+_VIRTUAL_SECONDS = histogram_handle(
+    "comm.redistribute.virtual_seconds",
+    help="per-rank virtual time inside the redistribution exchange",
+)
 
 
 def _intersect(a: Rect, b: Rect) -> Rect | None:
     """Intersection of two rectangles, or ``None`` when empty."""
+    if len(a) == 2:
+        # Unrolled 2-D case: the dominant shape (every rows<->cols
+        # redistribution), called P times per rank per redistribution.
+        (al0, ah0), (al1, ah1) = a
+        (bl0, bh0), (bl1, bh1) = b
+        lo0 = al0 if al0 > bl0 else bl0
+        hi0 = ah0 if ah0 < bh0 else bh0
+        if lo0 >= hi0:
+            return None
+        lo1 = al1 if al1 > bl1 else bl1
+        hi1 = ah1 if ah1 < bh1 else bh1
+        if lo1 >= hi1:
+            return None
+        return ((lo0, hi0), (lo1, hi1))
     out = []
     for (alo, ahi), (blo, bhi) in zip(a, b):
         lo, hi = max(alo, blo), min(ahi, bhi)
@@ -33,6 +63,10 @@ def _intersect(a: Rect, b: Rect) -> Rect | None:
 def _local_slices(rect: Rect, base: Rect) -> tuple[slice, ...]:
     """Slices selecting global rectangle *rect* inside a local array whose
     origin is *base*'s low corner."""
+    if len(rect) == 2:
+        (lo0, hi0), (lo1, hi1) = rect
+        (b0, _), (b1, _) = base
+        return slice(lo0 - b0, hi0 - b0), slice(lo1 - b1, hi1 - b1)
     return tuple(slice(lo - blo, hi - blo) for (lo, hi), (blo, _) in zip(rect, base))
 
 
@@ -82,22 +116,10 @@ def redistribute(
 
     incoming = comm.alltoall(outgoing)
 
-    registry = get_registry()
-    registry.counter(
-        "comm.redistribute.calls", help="layout redistributions performed"
-    ).inc()
-    registry.counter(
-        "comm.redistribute.bytes", help="payload bytes shipped by redistributions"
-    ).inc(parcel_bytes)
-    registry.histogram(
-        "comm.redistribute.parcels",
-        buckets=COUNT_BUCKETS,
-        help="non-empty parcels sent per rank per redistribution",
-    ).observe(parcels)
-    registry.histogram(
-        "comm.redistribute.virtual_seconds",
-        help="per-rank virtual time inside the redistribution exchange",
-    ).observe(comm.clock - entry_clock)
+    _CALLS.inc()
+    _BYTES.inc(parcel_bytes)
+    _PARCELS.observe(parcels)
+    _VIRTUAL_SECONDS.observe(comm.clock - entry_clock)
 
     my_new = new.rect(comm.rank)
     out = np.empty(new.shape(comm.rank), dtype=local.dtype)

@@ -17,7 +17,24 @@ from typing import Any
 
 import numpy as np
 
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import CounterHandle, counter_handle
+
+_APPLIES = counter_handle(
+    "comm.reductions.applies", help="binary reduction-operator applications"
+)
+#: one cached handle per operator name — applies are per-element-free but
+#: per-call hot, and the old f-string + registry lookup dominated them
+_APPLIES_BY_NAME: dict[str, CounterHandle] = {}
+
+
+def _applies_handle(name: str) -> CounterHandle:
+    handle = _APPLIES_BY_NAME.get(name)
+    if handle is None:
+        handle = _APPLIES_BY_NAME[name] = counter_handle(
+            f"comm.reductions.applies.{name}",
+            help=f"applications of the {name!r} operator",
+        )
+    return handle
 
 
 @dataclass(frozen=True)
@@ -33,14 +50,8 @@ class Op:
     commutative: bool = True
 
     def __call__(self, a: Any, b: Any) -> Any:
-        registry = get_registry()
-        registry.counter(
-            "comm.reductions.applies", help="binary reduction-operator applications"
-        ).inc()
-        registry.counter(
-            f"comm.reductions.applies.{self.name}",
-            help=f"applications of the {self.name!r} operator",
-        ).inc()
+        _APPLIES.inc()
+        _applies_handle(self.name).inc()
         return self.fn(a, b)
 
 

@@ -37,7 +37,11 @@ from repro.comm.reductions import MAX, MIN, SUM, Op
 from repro.core.archetype import Archetype
 from repro.core.globals import GlobalVar
 from repro.core.grid import DistGrid
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import counter_handle, histogram_handle
+
+_OP_SECONDS = histogram_handle(
+    "core.mesh.op_seconds", help="per-rank virtual time inside a mesh op"
+)
 
 
 def split_deep_shell(
@@ -76,18 +80,16 @@ def split_deep_shell(
 def _instrumented(method):
     """Record one ``core.mesh.<op>`` count and the op's virtual duration."""
     name = method.__name__
+    counter = counter_handle(
+        f"core.mesh.{name}", help=f"mesh-spectral {name} operations"
+    )
 
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
         entry = self.comm.clock
         result = method(self, *args, **kwargs)
-        registry = get_registry()
-        registry.counter(
-            f"core.mesh.{name}", help=f"mesh-spectral {name} operations"
-        ).inc()
-        registry.histogram(
-            "core.mesh.op_seconds", help="per-rank virtual time inside a mesh op"
-        ).observe(self.comm.clock - entry)
+        counter.inc()
+        _OP_SECONDS.observe(self.comm.clock - entry)
         return result
 
     return wrapper

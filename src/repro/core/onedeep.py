@@ -36,19 +36,24 @@ from typing import Any
 from repro.errors import ArchetypeError
 from repro.comm.communicator import Comm
 from repro.core.archetype import Archetype
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import CounterHandle, counter_handle, histogram_handle
 from repro.util.partition import split_evenly
+
+_PHASE_SECONDS = histogram_handle(
+    "core.onedeep.phase_seconds", help="per-rank virtual time inside a phase"
+)
+_PHASE_BY_LABEL: dict[str, CounterHandle] = {}
 
 
 def _record_phase(comm: Comm, label: str, entry_clock: float) -> None:
     """Metrics for one completed phase on one rank (counter + duration)."""
-    registry = get_registry()
-    registry.counter(
-        f"core.onedeep.phase.{label}", help=f"one-deep {label} phases completed"
-    ).inc()
-    registry.histogram(
-        "core.onedeep.phase_seconds", help="per-rank virtual time inside a phase"
-    ).observe(comm.clock - entry_clock)
+    handle = _PHASE_BY_LABEL.get(label)
+    if handle is None:
+        handle = _PHASE_BY_LABEL[label] = counter_handle(
+            f"core.onedeep.phase.{label}", help=f"one-deep {label} phases completed"
+        )
+    handle.inc()
+    _PHASE_SECONDS.observe(comm.clock - entry_clock)
 
 
 class SplitterStrategy(str, enum.Enum):

@@ -12,16 +12,29 @@ A process-wide default registry is always available via
 fresh registry with :func:`scoped_registry` and observe one run in
 isolation.  All instruments are thread-safe (ranks run on threads).
 
+Hot paths (the mailbox, the scheduler, request completion) use the
+bind-once *handle* API instead — :func:`counter_handle`,
+:func:`gauge_handle`, :func:`histogram_handle` — which resolves the
+instrument once and then records with a single registry-identity check
+per event (no lock, no dict lookup, no name formatting).  Handles stay
+correct across :func:`scoped_registry`/:func:`set_registry` swaps: a
+swap is detected by identity comparison and the handle re-binds against
+the new registry on its next use.
+
 This module sits below :mod:`repro.runtime` in the layering: it imports
-nothing from the rest of the package, so the runtime can import it
-without cycles.
+nothing from the rest of the package except the dependency-free
+:mod:`repro.fastpath` switch, so the runtime can import it without
+cycles.
 """
 
 from __future__ import annotations
 
 import contextlib
 import threading
+from bisect import bisect_left
 from collections.abc import Iterator, Sequence
+
+from repro import fastpath
 
 #: default histogram buckets for virtual-time observations (seconds):
 #: one decade per bucket from 1 microsecond to 100 seconds
@@ -260,3 +273,147 @@ def scoped_registry(
         yield fresh
     finally:
         set_registry(previous)
+
+
+class _Handle:
+    """Bind-once accessor for one instrument of the process-wide registry.
+
+    Created at import time by instrumentation sites; resolves its
+    instrument on first use and re-resolves automatically whenever the
+    default registry is swapped (:func:`scoped_registry` /
+    :func:`set_registry`), detected by a plain identity check.  With the
+    fast path disabled (:mod:`repro.fastpath`), every event takes the
+    historical full route — lock, dict lookup, get-or-create — so the
+    wallclock ablation measures what handles actually save.
+    """
+
+    __slots__ = ("name", "help", "_registry", "_instrument")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._registry: MetricsRegistry | None = None
+        self._instrument: Counter | Gauge | Histogram | None = None
+
+    def _create(self, registry: MetricsRegistry):
+        raise NotImplementedError
+
+    def resolve(self) -> Counter | Gauge | Histogram:
+        """The live instrument in the *current* default registry."""
+        registry = _default_registry
+        if self._registry is not registry:
+            self._instrument = self._create(registry)
+            self._registry = registry
+        return self._instrument
+
+
+class CounterHandle(_Handle):
+    """Cached handle to a :class:`Counter` (see :func:`counter_handle`).
+
+    The fast branch mutates the counter without taking its lock: the
+    run-to-block backends have exactly one live thread, so the update is
+    race-free by construction.  On the threaded backend a concurrent
+    increment can (rarely, under free-running GIL preemption) be lost;
+    metrics are observability, not semantics, and the trade is accepted
+    and measured by the wallclock ablation.
+    """
+
+    def _create(self, registry: MetricsRegistry) -> Counter:
+        return registry.counter(self.name, self.help)
+
+    def inc(self, amount: float = 1.0) -> None:
+        registry = _default_registry
+        if not fastpath._enabled:
+            registry.counter(self.name, self.help).inc(amount)
+            return
+        if self._registry is not registry:
+            self._instrument = self._create(registry)
+            self._registry = registry
+        self._instrument._value += amount
+
+
+class GaugeHandle(_Handle):
+    """Cached handle to a :class:`Gauge` (see :func:`gauge_handle`).
+
+    Lock-free on the fast branch, like :class:`CounterHandle`.
+    """
+
+    def _create(self, registry: MetricsRegistry) -> Gauge:
+        return registry.gauge(self.name, self.help)
+
+    def set(self, value: float) -> None:
+        registry = _default_registry
+        if not fastpath._enabled:
+            registry.gauge(self.name, self.help).set(value)
+            return
+        if self._registry is not registry:
+            self._instrument = self._create(registry)
+            self._registry = registry
+        self._instrument._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        registry = _default_registry
+        if not fastpath._enabled:
+            registry.gauge(self.name, self.help).inc(amount)
+            return
+        if self._registry is not registry:
+            self._instrument = self._create(registry)
+            self._registry = registry
+        self._instrument._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class HistogramHandle(_Handle):
+    """Cached handle to a :class:`Histogram` (see :func:`histogram_handle`).
+
+    Lock-free on the fast branch, like :class:`CounterHandle`; the
+    bucket search uses ``bisect_left``, which lands on the same bucket
+    as :meth:`Histogram.observe`'s linear scan (first bound >= value,
+    overflow past the end).
+    """
+
+    __slots__ = ("buckets",)
+
+    def __init__(self, name: str, buckets: Sequence[float] = TIME_BUCKETS, help: str = ""):
+        super().__init__(name, help)
+        self.buckets = buckets
+
+    def _create(self, registry: MetricsRegistry) -> Histogram:
+        return registry.histogram(self.name, self.buckets, self.help)
+
+    def observe(self, value: float) -> None:
+        registry = _default_registry
+        if not fastpath._enabled:
+            registry.histogram(self.name, self.buckets, self.help).observe(value)
+            return
+        if self._registry is not registry:
+            self._instrument = self._create(registry)
+            self._registry = registry
+        inst = self._instrument
+        value = float(value)
+        inst._counts[bisect_left(inst.buckets, value)] += 1
+        inst._count += 1
+        inst._sum += value
+        if value < inst._min:
+            inst._min = value
+        if value > inst._max:
+            inst._max = value
+
+
+def counter_handle(name: str, help: str = "") -> CounterHandle:
+    """A bind-once counter accessor for hot instrumentation sites."""
+    return CounterHandle(name, help)
+
+
+def gauge_handle(name: str, help: str = "") -> GaugeHandle:
+    """A bind-once gauge accessor for hot instrumentation sites."""
+    return GaugeHandle(name, help)
+
+
+def histogram_handle(
+    name: str, buckets: Sequence[float] = TIME_BUCKETS, help: str = ""
+) -> HistogramHandle:
+    """A bind-once histogram accessor for hot instrumentation sites."""
+    return HistogramHandle(name, buckets, help)

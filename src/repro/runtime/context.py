@@ -22,14 +22,27 @@ from typing import Any
 
 import numpy as np
 
+from repro import fastpath
 from repro.errors import CommError
 from repro.machines.model import MachineModel
-from repro.obs.metrics import TIME_BUCKETS, get_registry
+from repro.obs.metrics import TIME_BUCKETS, counter_handle, histogram_handle
 from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
 from repro.runtime.request import Request
 from repro.runtime.scheduler import Backend
 from repro.trace.tracer import Tracer
-from repro.util.nbytes import nbytes_of
+from repro.util.nbytes import _OVERHEAD_BYTES, _SCALAR_BYTES, _nbytes, nbytes_of
+
+_REQ_POSTED = counter_handle(
+    "comm.requests.posted", help="nonblocking requests posted"
+)
+_REQ_COMPLETED = counter_handle(
+    "comm.requests.completed", help="nonblocking requests completed"
+)
+_REQ_WAIT = histogram_handle(
+    "comm.requests.wait_seconds",
+    buckets=TIME_BUCKETS,
+    help="virtual time spent blocked completing a request",
+)
 
 
 def _copy_payload(payload: Any) -> Any:
@@ -56,6 +69,130 @@ def _copy_payload(payload: Any) -> Any:
     return copy.deepcopy(payload)
 
 
+def _array_frozen(array: np.ndarray) -> bool:
+    """True when *array* (and everything it views) is read-only.
+
+    A read-only view over a writeable base is *not* frozen: the owner of
+    the base could still mutate the shared memory, so it must be copied
+    like any writeable buffer.
+    """
+    base: Any = array
+    while isinstance(base, np.ndarray):
+        if base.flags.writeable:
+            return False
+        base = base.base
+    return base is None or isinstance(base, bytes)
+
+
+def _freeze_payload(payload: Any) -> Any:
+    """Produce an immutable equivalent of *payload*, sharing what it can.
+
+    The fast-path replacement for :func:`_copy_payload`: ndarrays are
+    copied **once** and marked read-only at first injection; a payload
+    that is already frozen (every forwarded hop of a ``bcast``, the
+    ring-passed slabs of an ``allgather``) is shared zero-copy, because
+    neither sender nor receiver can mutate it.  Mutable containers are
+    rebuilt (cheap — pointers only) so a sender appending to a sent list
+    cannot reach the receiver; their array leaves are shared frozen.
+    """
+    if payload is None or isinstance(
+        payload, (bool, int, float, complex, str, bytes, frozenset, np.generic)
+    ):
+        return payload
+    if isinstance(payload, np.ndarray):
+        if _array_frozen(payload):
+            return payload
+        frozen = payload.copy()
+        frozen.flags.writeable = False
+        return frozen
+    if isinstance(payload, tuple):
+        return tuple(_freeze_payload(item) for item in payload)
+    if isinstance(payload, list):
+        return [_freeze_payload(item) for item in payload]
+    if isinstance(payload, dict):
+        return {k: _freeze_payload(v) for k, v in payload.items()}
+    return copy.deepcopy(payload)
+
+
+def _transfer_payload(payload: Any) -> Any:
+    """Detach *payload* from the sender for delivery.
+
+    Fast path on: copy-on-write — freeze once, then share (received
+    arrays are read-only; ``np.asarray(x).copy()`` to mutate).  Fast path
+    off: the historical eager deep copy.
+    """
+    if fastpath._enabled:
+        return _freeze_payload(payload)
+    return _copy_payload(payload)
+
+
+def _freeze_measure(payload: Any) -> tuple[Any, int]:
+    """Freeze *payload* and measure its wire size in one traversal.
+
+    Returns ``(frozen, nbytes)`` where ``frozen`` is exactly
+    :func:`_freeze_payload`'s result and ``nbytes`` exactly
+    ``repro.util.nbytes._nbytes``'s (the envelope overhead is added by
+    the caller).  Fusing the two walks matters for nested payloads (a
+    redistribution parcel is a list of (rect, block) tuples): the
+    structure is visited once instead of twice.  Types outside the hot
+    set delegate to the reference implementations.
+    """
+    # Exact-type dispatch first: the hot payloads are plain
+    # tuples/lists/ints/floats/ndarrays (a parcel is mostly small-int
+    # rectangle tuples), and ``type() is`` beats isinstance chains.
+    # Subclasses fall through to the isinstance chain below, which
+    # computes the identical result.
+    t = type(payload)
+    if t is tuple or t is list:
+        items = []
+        total = 0
+        for item in payload:
+            ti = type(item)
+            if ti is int or ti is float:
+                items.append(item)
+                total += _SCALAR_BYTES + 2
+            else:
+                frozen, nbytes = _freeze_measure(item)
+                items.append(frozen)
+                total += nbytes + 2
+        return (tuple(items) if t is tuple else items), total
+    if t is np.ndarray:
+        nbytes = int(payload.nbytes)
+        if _array_frozen(payload):
+            return payload, nbytes
+        frozen = payload.copy()
+        frozen.flags.writeable = False
+        return frozen, nbytes
+    if payload is None:
+        return payload, 0
+    if isinstance(payload, np.ndarray):
+        nbytes = int(payload.nbytes)
+        if _array_frozen(payload):
+            return payload, nbytes
+        frozen = payload.copy()
+        frozen.flags.writeable = False
+        return frozen, nbytes
+    if isinstance(payload, (bool, int, float, complex)):
+        return payload, _SCALAR_BYTES
+    if isinstance(payload, (tuple, list)):
+        items = []
+        total = 0
+        for item in payload:
+            frozen, nbytes = _freeze_measure(item)
+            items.append(frozen)
+            total += nbytes + 2
+        return (tuple(items), total) if isinstance(payload, tuple) else (items, total)
+    if isinstance(payload, dict):
+        out = {}
+        total = 0
+        for key, value in payload.items():
+            frozen, nbytes = _freeze_measure(value)
+            out[key] = frozen
+            total += _nbytes(key) + nbytes + 2
+        return out, total
+    return _freeze_payload(payload), _nbytes(payload)
+
+
 @dataclass
 class _Endpoint:
     """Per-rank state shared by every communicator view of the rank."""
@@ -68,6 +205,11 @@ class _Endpoint:
 
 class RankContext:
     """One rank's view of the virtual machine (possibly a group view)."""
+
+    #: per-(machine, size) constants for the fused fast paths; instances
+    #: populate their own cache on first use (group views built by
+    #: ``split`` bypass ``__init__`` and inherit this class default)
+    _cost_cache: tuple | None = None
 
     def __init__(
         self,
@@ -130,6 +272,39 @@ class RankContext:
                 f"rank {peer} out of range for a {self.size}-rank computation"
             )
 
+    def _validate_send_tag(self, tag: int) -> None:
+        """Reject an invalid send tag.  Subclasses that restrict the tag
+        space (the communicator's user-tag window) override this so fused
+        fast paths raise exactly what their ``send``/``isend`` would."""
+        if tag < 0:
+            raise CommError(f"tags must be >= 0 (got {tag}); negatives are wildcards")
+
+    def _machine_costs(self) -> tuple:
+        """Constants of the machine's per-message cost formulas for this
+        (machine, size) pair, cached on the instance.
+
+        The fused fast paths inline :meth:`MachineModel.message_time` /
+        ``send_overhead`` / ``recv_overhead`` to skip three method calls
+        per exchange.  Each product below groups terms exactly as the
+        model's own expressions associate them, so the inlined arithmetic
+        is bitwise identical to calling the model.
+        """
+        m = self.machine
+        congestion = 1.0 + m.congestion_per_node * max(self.size - 2, 0)
+        cache = (
+            m,
+            self.size,
+            congestion,
+            m.alpha,
+            m.beta,
+            m.SEND_ALPHA_FRACTION * m.alpha,
+            m.SEND_BETA_FRACTION * m.beta,
+            m.RECV_ALPHA_FRACTION * m.alpha,
+            m.RECV_BETA_FRACTION * m.beta,
+        )
+        self._cost_cache = cache
+        return cache
+
     # -- compute accounting --------------------------------------------------
     def charge(
         self,
@@ -156,7 +331,9 @@ class RankContext:
         self.clock += seconds
 
     # -- point-to-point ------------------------------------------------------
-    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+    def send(
+        self, dest: int, payload: Any, tag: int = 0, *, nbytes: int | None = None
+    ) -> None:
         """Send *payload* to rank *dest* with the given *tag*.
 
         Buffered semantics: the call deposits the message and returns; the
@@ -164,19 +341,36 @@ class RankContext:
         model) and the message becomes visible to the receiver at the
         sender's post-send clock.
 
-        The payload is copied at send time.  Ranks share one address
-        space here, but the modelled machine has distributed memory: a
-        sender mutating its buffer after the send must never affect the
-        receiver (nor may a receiver's mutation reach back).  NumPy views
-        are especially hazardous without this — a contiguous slab of a
-        local array "sent" by reference would deliver whatever the array
-        holds when the receiver is finally scheduled.
+        The payload is detached from the sender at send time.  Ranks
+        share one address space here, but the modelled machine has
+        distributed memory: a sender mutating its buffer after the send
+        must never affect the receiver (nor may a receiver's mutation
+        reach back).  NumPy views are especially hazardous without this —
+        a contiguous slab of a local array "sent" by reference would
+        deliver whatever the array holds when the receiver is finally
+        scheduled.  With the fast path on, detachment is copy-on-write:
+        arrays are copied once and frozen read-only, and already-frozen
+        payloads (collective forwards) are shared zero-copy.
+
+        ``nbytes`` overrides the payload-size traversal when the caller
+        already knows the size — collectives forwarding a received
+        message reuse its envelope's ``nbytes`` instead of re-measuring
+        the same buffer at every tree hop.  It must equal
+        ``nbytes_of(payload)``; virtual costs depend on it.
         """
         self.check_peer(dest)
         if tag < 0:
             raise CommError(f"tags must be >= 0 (got {tag}); negatives are wildcards")
-        payload = _copy_payload(payload)
-        nbytes = nbytes_of(payload)
+        if fastpath._enabled:
+            if nbytes is None:
+                payload, nbytes = _freeze_measure(payload)
+                nbytes += _OVERHEAD_BYTES
+            else:
+                payload = _freeze_payload(payload)
+        else:
+            payload = _copy_payload(payload)
+            if nbytes is None:
+                nbytes = nbytes_of(payload)
         start = self.clock
         self.clock += self.machine.message_time(nbytes, nodes=self.size)
         self._endpoint.send_seq += 1
@@ -262,21 +456,40 @@ class RankContext:
         self._endpoint.next_req += 1
         return rid
 
-    def isend(self, dest: int, payload: Any, tag: int = 0) -> Request:
+    def isend(
+        self, dest: int, payload: Any, tag: int = 0, *, nbytes: int | None = None
+    ) -> Request:
         """Post a nonblocking send; complete it with ``wait``/``waitall``.
 
-        The payload is copied at post time (send-by-value, as for
-        :meth:`send`) and delivered with the same arrival stamp a blocking
-        send would produce; only the post overhead is charged here.
+        The payload is detached at post time (send-by-value, as for
+        :meth:`send`, copy-on-write with the fast path on) and delivered
+        with the same arrival stamp a blocking send would produce; only
+        the post overhead is charged here.  ``nbytes`` as for
+        :meth:`send`.
         """
         self.check_peer(dest)
         if tag < 0:
             raise CommError(f"tags must be >= 0 (got {tag}); negatives are wildcards")
-        payload = _copy_payload(payload)
-        nbytes = nbytes_of(payload)
+        if fastpath._enabled:
+            if nbytes is None:
+                payload, nbytes = _freeze_measure(payload)
+                nbytes += _OVERHEAD_BYTES
+            else:
+                payload = _freeze_payload(payload)
+        else:
+            payload = _copy_payload(payload)
+            if nbytes is None:
+                nbytes = nbytes_of(payload)
         start = self.clock
-        arrival = start + self.machine.message_time(nbytes, nodes=self.size)
-        self.clock += self.machine.send_overhead(nbytes, nodes=self.size)
+        if fastpath._enabled:
+            costs = self._cost_cache
+            if costs is None or costs[0] is not self.machine or costs[1] != self.size:
+                costs = self._machine_costs()
+            arrival = start + (costs[3] + costs[4] * nbytes) * costs[2]
+            self.clock = start + (costs[5] + costs[6] * nbytes) * costs[2]
+        else:
+            arrival = start + self.machine.message_time(nbytes, nodes=self.size)
+            self.clock += self.machine.send_overhead(nbytes, nodes=self.size)
         self._endpoint.send_seq += 1
         msg = Message(
             source=self.global_rank,
@@ -299,9 +512,7 @@ class RankContext:
             posted_at=start,
             complete_at=arrival,
         )
-        get_registry().counter(
-            "comm.requests.posted", help="nonblocking requests posted"
-        ).inc()
+        _REQ_POSTED.inc()
         if self._tracer is not None:
             self._tracer.comm(
                 self.global_rank,
@@ -343,9 +554,7 @@ class RankContext:
             posted_at=self.clock,
             post_id=post_id,
         )
-        get_registry().counter(
-            "comm.requests.posted", help="nonblocking requests posted"
-        ).inc()
+        _REQ_POSTED.inc()
         if self._tracer is not None:
             self._tracer.request(
                 self.global_rank, self.clock, "irecv", "post", req.req_id,
@@ -366,15 +575,8 @@ class RankContext:
         pre = owner.clock
         owner.clock = max(owner.clock, request.complete_at)
         request.done = True
-        registry = get_registry()
-        registry.counter(
-            "comm.requests.completed", help="nonblocking requests completed"
-        ).inc()
-        registry.histogram(
-            "comm.requests.wait_seconds",
-            buckets=TIME_BUCKETS,
-            help="virtual time spent blocked completing a request",
-        ).observe(max(0.0, request.complete_at - pre))
+        _REQ_COMPLETED.inc()
+        _REQ_WAIT.observe(max(0.0, request.complete_at - pre))
         if owner._tracer is not None:
             owner._tracer.request(
                 owner.global_rank, owner.clock, "isend", "complete",
@@ -389,15 +591,8 @@ class RankContext:
         owner.clock = max(owner.clock, msg.arrival)
         owner.clock += owner.machine.recv_overhead(msg.nbytes, nodes=owner.size)
         request.nbytes = msg.nbytes
-        registry = get_registry()
-        registry.counter(
-            "comm.requests.completed", help="nonblocking requests completed"
-        ).inc()
-        registry.histogram(
-            "comm.requests.wait_seconds",
-            buckets=TIME_BUCKETS,
-            help="virtual time spent blocked completing a request",
-        ).observe(max(0.0, msg.arrival - pre))
+        _REQ_COMPLETED.inc()
+        _REQ_WAIT.observe(max(0.0, msg.arrival - pre))
         if owner._tracer is not None:
             owner._tracer.comm(
                 owner.global_rank,
@@ -447,6 +642,8 @@ class RankContext:
         canonically (sends in list order, then receives sorted by arrival),
         so the virtual clock is independent of the observation order.
         """
+        if fastpath._enabled:
+            return self._waitall_fast(requests)
         for request in requests:
             self._check_request(request)
         rank = self.global_rank
@@ -471,6 +668,92 @@ class RankContext:
         fulfilled.sort(key=lambda pair: (pair[1].arrival, pair[1].source, pair[1].seq))
         for request, msg in fulfilled:
             self._complete_recv(request, msg)
+        return [r.payload if r.kind == "recv" else None for r in requests]
+
+    def _waitall_fast(self, requests: list[Request]) -> list[Any]:
+        """The fast-path ``waitall`` body: same backend call sequence and
+        charges, with the per-request bookkeeping of the historical loop
+        (request dicts, completion helpers) flattened into locals.
+
+        ``choose_completion`` is elided when exactly one receive is
+        fulfillable: with a single candidate every backend returns
+        position 0 without consuming randomness or tracing, so the elision
+        is unobservable.
+        """
+        ep = self._endpoint
+        backend = self._backend
+        rank = self.global_rank
+        pending: dict[int, Request] = {}
+        for r in requests:
+            if r.owner._endpoint is not ep:
+                self._check_request(r)
+            if r.kind == "recv" and not r.done:
+                pending[r.post_id] = r
+        fulfilled: list[tuple[Request, Message]] = []
+        if pending:
+            describe = f"waitall({len(requests)} requests, ctx={self._ctx})"
+            while pending:
+                ready = backend.wait_any_post(rank, list(pending), describe)
+                if len(ready) == 1:
+                    post_id = ready[0]
+                else:
+                    candidates = [
+                        (m.source, m.tag)
+                        for m in (backend.peek_post(rank, pid) for pid in ready)
+                    ]
+                    post_id = ready[backend.choose_completion(rank, candidates)]
+                fulfilled.append((pending.pop(post_id), backend.take_post(rank, post_id)))
+        completed = 0
+        observe_wait = _REQ_WAIT.observe
+        for r in requests:
+            if r.kind == "send" and not r.done:
+                owner = r.owner
+                oep = owner._endpoint
+                pre = oep.clock
+                finish = r.complete_at
+                if finish > pre:
+                    oep.clock = finish
+                r.done = True
+                completed += 1
+                observe_wait(finish - pre if finish > pre else 0.0)
+                if owner._tracer is not None:
+                    owner._tracer.request(
+                        owner.global_rank, oep.clock, "isend", "complete",
+                        r.req_id, owner._to_global(r.peer), r.tag, r.nbytes,
+                    )
+        if len(fulfilled) > 1:
+            fulfilled.sort(
+                key=lambda pair: (pair[1].arrival, pair[1].source, pair[1].seq)
+            )
+        for r, msg in fulfilled:
+            owner = r.owner
+            oep = owner._endpoint
+            pre = oep.clock
+            arrival = msg.arrival
+            costs = owner._cost_cache
+            if costs is None or costs[0] is not owner.machine or costs[1] != owner.size:
+                costs = owner._machine_costs()
+            oep.clock = (arrival if arrival > pre else pre) + (
+                costs[7] + costs[8] * msg.nbytes
+            ) * costs[2]
+            r.nbytes = msg.nbytes
+            completed += 1
+            observe_wait(arrival - pre if arrival > pre else 0.0)
+            if owner._tracer is not None:
+                owner._tracer.comm(
+                    owner.global_rank, "recv", msg.source, msg.tag, msg.nbytes,
+                    pre, oep.clock, arrival=arrival,
+                )
+                owner._tracer.request(
+                    owner.global_rank, oep.clock, "irecv", "complete",
+                    r.req_id, msg.source, msg.tag, msg.nbytes,
+                )
+            if owner._group is not None:
+                msg = replace(msg, source=owner._to_local(msg.source))
+            r.message = msg
+            r.done = True
+        if completed:
+            _REQ_COMPLETED.inc(completed)
         return [r.payload if r.kind == "recv" else None for r in requests]
 
     def waitany(self, requests: list[Request]) -> tuple[int, Any]:
@@ -545,6 +828,8 @@ class RankContext:
         receive returns ``None``.
         """
         recv_tag = send_tag if recv_tag is None else recv_tag
+        if fastpath._enabled:
+            return self._sendrecv_fast(dest, payload, source, send_tag, recv_tag)
         requests: list[Request] = []
         recv_req: Request | None = None
         if source is not None:
@@ -554,3 +839,120 @@ class RankContext:
             requests.append(self.isend(dest, payload, tag=send_tag))
         self.waitall(requests)
         return None if recv_req is None else recv_req.payload
+
+    def _sendrecv_fast(
+        self,
+        dest: int | None,
+        payload: Any,
+        source: int | None,
+        send_tag: int,
+        recv_tag: int,
+    ) -> Any:
+        """The fast-path ``sendrecv`` body: ``irecv``/``isend``/``waitall``
+        fused into one frame, with no :class:`Request` objects.
+
+        Everything observable is reproduced bit-for-bit — validation
+        order, payload detachment, clock charges (send completion first,
+        then the receive), request-id allocation, metric totals, trace
+        events, and the exact backend call sequence (post, deliver, one
+        ``wait_any_post``).  ``choose_completion`` is skipped as in
+        :meth:`_waitall_fast`: a single candidate always yields position
+        0 with no side effects.
+        """
+        ep = self._endpoint
+        backend = self._backend
+        machine = self.machine
+        rank = self.global_rank
+        tracer = self._tracer
+        costs = self._cost_cache
+        if costs is None or costs[0] is not machine or costs[1] != self.size:
+            costs = self._machine_costs()
+        _, _, congestion, alpha, beta, send_a, send_b, recv_a, recv_b = costs
+        nreq = 0
+        post_id = None
+        if source is not None:
+            if source != ANY_SOURCE:
+                self.check_peer(source)
+            global_source = source if source == ANY_SOURCE else self._to_global(source)
+            post_id = backend.post_receive(rank, global_source, recv_tag, self._ctx)
+            recv_req_id = ep.next_req
+            ep.next_req += 1
+            nreq += 1
+            if tracer is not None:
+                tracer.request(
+                    rank, ep.clock, "irecv", "post", recv_req_id,
+                    global_source, recv_tag, 0,
+                )
+        send_arrival = None
+        if dest is not None:
+            self.check_peer(dest)
+            self._validate_send_tag(send_tag)
+            payload, nbytes = _freeze_measure(payload)
+            nbytes += _OVERHEAD_BYTES
+            start = ep.clock
+            send_arrival = start + (alpha + beta * nbytes) * congestion
+            ep.clock = start + (send_a + send_b * nbytes) * congestion
+            ep.send_seq += 1
+            global_dest = self._to_global(dest)
+            backend.deliver(
+                Message(
+                    source=rank,
+                    dest=global_dest,
+                    tag=send_tag,
+                    payload=payload,
+                    nbytes=nbytes,
+                    arrival=send_arrival,
+                    seq=ep.send_seq,
+                    ctx=self._ctx,
+                )
+            )
+            send_req_id = ep.next_req
+            ep.next_req += 1
+            nreq += 1
+            if tracer is not None:
+                tracer.comm(
+                    rank, "send", global_dest, send_tag, nbytes,
+                    start, ep.clock, arrival=send_arrival,
+                )
+                tracer.request(
+                    rank, ep.clock, "isend", "post", send_req_id,
+                    global_dest, send_tag, nbytes,
+                )
+        _REQ_POSTED.inc(nreq)
+        got = None
+        if post_id is not None:
+            ready = backend.wait_any_post(
+                rank, [post_id], f"waitall({nreq} requests, ctx={self._ctx})"
+            )
+            got = backend.take_post(rank, ready[0])
+        completed = 0
+        if send_arrival is not None:
+            pre = ep.clock
+            if send_arrival > pre:
+                ep.clock = send_arrival
+            completed += 1
+            _REQ_WAIT.observe(send_arrival - pre if send_arrival > pre else 0.0)
+            if tracer is not None:
+                tracer.request(
+                    rank, ep.clock, "isend", "complete", send_req_id,
+                    global_dest, send_tag, nbytes,
+                )
+        if got is not None:
+            pre = ep.clock
+            arrival = got.arrival
+            ep.clock = (arrival if arrival > pre else pre) + (
+                recv_a + recv_b * got.nbytes
+            ) * congestion
+            completed += 1
+            _REQ_WAIT.observe(arrival - pre if arrival > pre else 0.0)
+            if tracer is not None:
+                tracer.comm(
+                    rank, "recv", got.source, got.tag, got.nbytes,
+                    pre, ep.clock, arrival=arrival,
+                )
+                tracer.request(
+                    rank, ep.clock, "irecv", "complete", recv_req_id,
+                    got.source, got.tag, got.nbytes,
+                )
+        _REQ_COMPLETED.inc(completed)
+        return None if got is None else got.payload

@@ -23,16 +23,28 @@ verification layer (:mod:`repro.verify`) builds on it.
 
 from __future__ import annotations
 
+import heapq
 import random
 import threading
 from collections.abc import Callable
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import fastpath
 from repro.errors import DeadlockError, InjectedFaultError, RankFailedError
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import counter_handle
 from repro.runtime.mailbox import Mailbox
 from repro.runtime.message import ANY_SOURCE, ANY_TAG, Message
+
+_STEPS = counter_handle(
+    "runtime.scheduler.steps", help="run-to-block scheduling decisions"
+)
+_BLOCKS = counter_handle(
+    "runtime.scheduler.blocks", help="ranks suspended awaiting a message"
+)
+_DEADLOCKS = counter_handle(
+    "runtime.scheduler.deadlocks", help="runs aborted as deadlocked"
+)
 
 
 class _Aborted(BaseException):
@@ -164,7 +176,18 @@ class Backend:
 
 
 class DeterministicBackend(Backend):
-    """Run-to-block scheduling: one rank at a time, lowest runnable first."""
+    """Run-to-block scheduling: one rank at a time, lowest runnable first.
+
+    With the fast path on (:mod:`repro.fastpath`, captured at
+    construction), scheduling decisions come from a clock-keyed heap of
+    *wakeable* ranks maintained at the moments runnability can actually
+    change — a rank blocking, or a delivery fulfilling a blocked rank's
+    predicate — so a pick is O(log P) instead of the naive O(P) scan
+    that re-evaluated every blocked rank's predicate on every step.
+    Runnability is monotone while a rank is blocked (only the owner
+    removes messages from its mailbox), so deferring predicate
+    evaluation to delivery time selects exactly the same rank sequence.
+    """
 
     def __init__(self, nprocs: int):
         super().__init__(nprocs)
@@ -175,11 +198,65 @@ class DeterministicBackend(Backend):
         self._to_scheduler = threading.Event()
         self._abort = False
         self._failures: dict[int, BaseException] = {}
+        self._fast = fastpath.enabled()
+        #: ranks currently believed runnable (fast path bookkeeping)
+        self._wakeable: set[int] = set()
+        #: (clock, rank) entries for wakeable ranks; lazily invalidated
+        self._heap: list[tuple[float, int]] = []
+
+    # -- fast-path wake bookkeeping ---------------------------------------
+    def _wake(self, rank: int) -> None:
+        """Mark *rank* runnable (it is READY, or its predicate holds)."""
+        if rank in self._wakeable:
+            return
+        self._wakeable.add(rank)
+        heapq.heappush(self._heap, (self._clock_of(rank), rank))
+
+    def _wake_if_unblocked(self, rank: int) -> None:
+        """Wake a blocked rank whose wait was just satisfied by a delivery."""
+        if self._status[rank] == _Status.BLOCKED and rank not in self._wakeable:
+            predicate = self._predicate[rank]
+            if predicate is not None and predicate():
+                self._wake(rank)
+
+    def _deposit(self, msg: Message) -> None:
+        """Put *msg* in its destination mailbox and update wakeability."""
+        self.mailboxes[msg.dest].put(msg)
+        if self._fast:
+            self._wake_if_unblocked(msg.dest)
+
+    def _handoff(self, rank: int | None) -> bool:
+        """Hand the CPU directly to the next runnable rank (fast path).
+
+        Run-to-block has exactly one active thread, so the thread giving
+        up the CPU can run the pick itself and resume its successor in
+        one context switch, instead of two via the scheduler thread.
+        The pick logic is byte-identical; only which thread executes it
+        changes.  Returns True when *rank* picked itself (wait already
+        satisfiable): the caller keeps running, zero switches.  With no
+        runnable rank, wakes the scheduler thread, which owns run
+        completion, failure unwinding, and deadlock reporting.
+        """
+        if self._abort:
+            # Unwinding: several aborted rank threads reach here at once;
+            # nothing is runnable, so don't touch the shared heap.
+            self._to_scheduler.set()
+            return False
+        nxt = self._pick_next()
+        if nxt is None:
+            self._to_scheduler.set()
+            return False
+        _STEPS.inc()
+        self._status[nxt] = _Status.RUNNING
+        if nxt == rank:
+            return True
+        self._resume[nxt].set()
+        return False
 
     # -- transport --------------------------------------------------------
     def deliver(self, msg: Message) -> None:
         # Only the single running rank mutates mailboxes, so no locking.
-        self.mailboxes[msg.dest].put(msg)
+        self._deposit(msg)
 
     def wait_for_match(
         self, rank: int, source: int, tag: int, ctx: int, describe: str
@@ -198,9 +275,16 @@ class DeterministicBackend(Backend):
         ready = [p for p in post_ids if mailbox.post_ready(p)]
         if ready:
             return ready
-        self._block(
-            rank, lambda: any(mailbox.post_ready(p) for p in post_ids), describe
-        )
+        if len(post_ids) == 1:
+            # One post: the predicate needs no any()/generator machinery.
+            # It is re-evaluated on every delivery to this rank while
+            # blocked, so the flat closure is worth having.
+            post_id = post_ids[0]
+            self._block(rank, lambda: mailbox.post_ready(post_id), describe)
+        else:
+            self._block(
+                rank, lambda: any(mailbox.post_ready(p) for p in post_ids), describe
+            )
         ready = [p for p in post_ids if mailbox.post_ready(p)]
         assert ready, "scheduler resumed rank without a fulfilled posted receive"
         return ready
@@ -208,13 +292,22 @@ class DeterministicBackend(Backend):
     def _block(self, rank: int, predicate: Callable[[], bool], describe: str) -> None:
         if self._abort:
             raise _Aborted()
-        get_registry().counter(
-            "runtime.scheduler.blocks", help="ranks suspended awaiting a message"
-        ).inc()
+        _BLOCKS.inc()
         self._predicate[rank] = predicate
         self._describe[rank] = describe
         self._status[rank] = _Status.BLOCKED
-        self._to_scheduler.set()
+        # Callers only block after failing to satisfy the wait directly,
+        # so the predicate is false here; re-checking before handing
+        # control back keeps the wakeable invariant robust even if a
+        # future caller blocks with an already-satisfiable wait.  Must
+        # happen before the handoff: picking reads the heap.
+        if self._fast:
+            if predicate():
+                self._wake(rank)
+            if self._handoff(rank):
+                return  # picked ourselves again: no switch needed
+        else:
+            self._to_scheduler.set()
         self._resume[rank].wait()
         self._resume[rank].clear()
         if self._abort:
@@ -234,33 +327,10 @@ class DeterministicBackend(Backend):
         for t in threads:
             t.start()
         try:
-            while True:
-                nxt = self._pick_next()
-                if nxt is None:
-                    if all(s in (_Status.DONE, _Status.FAILED) for s in self._status):
-                        break
-                    if self._failures:
-                        break
-                    self._abort_all(threads)
-                    waiting = {
-                        r: self._describe[r]
-                        for r in range(self.nprocs)
-                        if self._status[r] == _Status.BLOCKED
-                    }
-                    detail = "; ".join(f"rank {r}: {d}" for r, d in waiting.items())
-                    get_registry().counter(
-                        "runtime.scheduler.deadlocks", help="runs aborted as deadlocked"
-                    ).inc()
-                    raise DeadlockError(
-                        f"no rank can make progress ({detail})", waiting=waiting
-                    )
-                get_registry().counter(
-                    "runtime.scheduler.steps", help="run-to-block scheduling decisions"
-                ).inc()
-                self._status[nxt] = _Status.RUNNING
-                self._to_scheduler.clear()
-                self._resume[nxt].set()
-                self._to_scheduler.wait()
+            if self._fast:
+                self._run_fast(threads)
+            else:
+                self._run_scan(threads)
         finally:
             if self._failures or any(s == _Status.BLOCKED for s in self._status):
                 self._abort_all(threads)
@@ -270,6 +340,58 @@ class DeterministicBackend(Backend):
             rank = min(self._failures)
             raise RankFailedError(rank, self._failures[rank]) from self._failures[rank]
 
+    def _run_scan(self, threads: list[threading.Thread]) -> None:
+        """The historical scheduling loop: every pick runs on the
+        scheduler thread, two context switches per handoff."""
+        while True:
+            nxt = self._pick_next()
+            if nxt is None:
+                if all(s in (_Status.DONE, _Status.FAILED) for s in self._status):
+                    return
+                if self._failures:
+                    return
+                self._raise_deadlock(threads)
+            _STEPS.inc()
+            self._status[nxt] = _Status.RUNNING
+            self._to_scheduler.clear()
+            self._resume[nxt].set()
+            self._to_scheduler.wait()
+
+    def _run_fast(self, threads: list[threading.Thread]) -> None:
+        """Fast scheduling loop: ranks hand off to each other directly
+        (:meth:`_handoff`); this thread sleeps until a handoff finds no
+        runnable rank, then decides completion / failure / deadlock.
+        The pick sequence is identical to :meth:`_run_scan`'s."""
+        for rank in range(self.nprocs):
+            self._wake(rank)
+        self._handoff(None)  # kick the first rank
+        while True:
+            self._to_scheduler.wait()
+            self._to_scheduler.clear()
+            nxt = self._pick_next()
+            if nxt is not None:
+                # A terminal signal raced a wake; resume and keep going.
+                _STEPS.inc()
+                self._status[nxt] = _Status.RUNNING
+                self._resume[nxt].set()
+                continue
+            if all(s in (_Status.DONE, _Status.FAILED) for s in self._status):
+                return
+            if self._failures:
+                return
+            self._raise_deadlock(threads)
+
+    def _raise_deadlock(self, threads: list[threading.Thread]) -> None:
+        self._abort_all(threads)
+        waiting = {
+            r: self._describe[r]
+            for r in range(self.nprocs)
+            if self._status[r] == _Status.BLOCKED
+        }
+        detail = "; ".join(f"rank {r}: {d}" for r, d in waiting.items())
+        _DEADLOCKS.inc()
+        raise DeadlockError(f"no rank can make progress ({detail})", waiting=waiting)
+
     def _pick_next(self) -> int | None:
         """The runnable rank furthest behind in virtual time.
 
@@ -278,15 +400,30 @@ class DeterministicBackend(Backend):
         modelled machine's timeline, so wildcard receives observe the
         message population a real run would have had.  Ties break by
         rank, keeping execution fully deterministic.
+
+        Fast path: pop the heap of wakeable ranks.  A wakeable rank's
+        clock cannot have moved since it was pushed (blocked ranks do not
+        advance their clocks), so the heap's (clock, rank) order is the
+        same min-clock lowest-rank selection the O(P) scan makes.
         """
-        best: int | None = None
-        best_clock = 0.0
-        for rank in range(self.nprocs):
+        if not self._fast:
+            best: int | None = None
+            best_clock = 0.0
+            for rank in range(self.nprocs):
+                if self._is_runnable(rank):
+                    clock = self._clock_of(rank)
+                    if best is None or clock < best_clock:
+                        best, best_clock = rank, clock
+            return best
+        heap = self._heap
+        while heap:
+            _, rank = heapq.heappop(heap)
+            if rank not in self._wakeable:
+                continue  # lazily invalidated entry
+            self._wakeable.discard(rank)
             if self._is_runnable(rank):
-                clock = self._clock_of(rank)
-                if best is None or clock < best_clock:
-                    best, best_clock = rank, clock
-        return best
+                return rank
+        return None
 
     def _is_runnable(self, rank: int) -> bool:
         status = self._status[rank]
@@ -310,7 +447,12 @@ class DeterministicBackend(Backend):
             self._failures[rank] = exc
             self._status[rank] = _Status.FAILED
         finally:
-            self._to_scheduler.set()
+            if self._fast:
+                # Hand off to the next rank directly (or wake the
+                # scheduler thread for terminal handling).
+                self._handoff(None)
+            else:
+                self._to_scheduler.set()
 
     def _abort_all(self, threads: list[threading.Thread]) -> None:
         self._abort = True
@@ -363,6 +505,11 @@ class FuzzedBackend(DeterministicBackend):
         self._delayed: dict[tuple[int, int], list[tuple[int, Message]]] = {}
         self._crashed: set[int] = set()
 
+    def _wake(self, rank: int) -> None:
+        # The fuzzed pick draws from the wakeable *set*; the heap the
+        # deterministic pick pops is never consulted, so skip pushing it.
+        self._wakeable.add(rank)
+
     # -- transport --------------------------------------------------------
     def deliver(self, msg: Message) -> None:
         plan = self.faults
@@ -379,7 +526,7 @@ class FuzzedBackend(DeterministicBackend):
                     release = max(release, queue[-1][0])
                 self._delayed.setdefault(key, []).append((release, msg))
                 return
-        self.mailboxes[msg.dest].put(msg)
+        self._deposit(msg)
 
     def wait_for_match(
         self, rank: int, source: int, tag: int, ctx: int, describe: str
@@ -480,6 +627,7 @@ class FuzzedBackend(DeterministicBackend):
         if not runnable:
             return None
         choice = self._rng.choice(runnable)
+        self._wakeable.discard(choice)
         self.schedule_log.append((choice, self._clock_of(choice)))
         return choice
 
@@ -487,6 +635,20 @@ class FuzzedBackend(DeterministicBackend):
         # A blocked rank whose crash is due counts as runnable so it can be
         # scheduled once more and raise, instead of hanging forever on a
         # receive that will never be satisfied.
+        if self._fast:
+            # The wakeable set is exactly {READY or predicate-true BLOCKED}
+            # (monotone runnability, maintained at deposit/block time), so
+            # sorting it reproduces the ascending list the O(P) scan
+            # builds — the rng.choice stream is bit-identical.
+            ranks = set(self._wakeable)
+            plan = self.faults
+            if plan is not None and plan.crash_rank is not None:
+                crash_rank = plan.crash_rank
+                if self._status[crash_rank] == _Status.BLOCKED and self._crash_due(
+                    crash_rank
+                ):
+                    ranks.add(crash_rank)
+            return sorted(ranks)
         return [
             rank
             for rank in range(self.nprocs)
@@ -498,7 +660,7 @@ class FuzzedBackend(DeterministicBackend):
         for key in list(self._delayed):
             queue = self._delayed[key]
             while queue and queue[0][0] <= self._step:
-                self.mailboxes[key[1]].put(queue.pop(0)[1])
+                self._deposit(queue.pop(0)[1])
             if not queue:
                 del self._delayed[key]
 
@@ -512,7 +674,7 @@ class FuzzedBackend(DeterministicBackend):
         if best_key is None:
             return False
         queue = self._delayed[best_key]
-        self.mailboxes[best_key[1]].put(queue.pop(0)[1])
+        self._deposit(queue.pop(0)[1])
         if not queue:
             del self._delayed[best_key]
         return True
@@ -593,9 +755,7 @@ class ThreadedBackend(Backend):
                 if self._failed.is_set():
                     raise _Aborted()
                 if waited >= self.deadlock_timeout:
-                    get_registry().counter(
-                        "runtime.scheduler.deadlocks", help="runs aborted as deadlocked"
-                    ).inc()
+                    _DEADLOCKS.inc()
                     raise DeadlockError(
                         f"rank {rank} waited {waited:.1f}s for {describe}; "
                         "presumed deadlock",
@@ -635,9 +795,7 @@ class ThreadedBackend(Backend):
                 if self._failed.is_set():
                     raise _Aborted()
                 if waited >= self.deadlock_timeout:
-                    get_registry().counter(
-                        "runtime.scheduler.deadlocks", help="runs aborted as deadlocked"
-                    ).inc()
+                    _DEADLOCKS.inc()
                     raise DeadlockError(
                         f"rank {rank} waited {waited:.1f}s for {describe}; "
                         "presumed deadlock",

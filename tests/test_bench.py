@@ -152,17 +152,17 @@ class TestFigureExperimentsSmall:
 
 
 class TestBenchArtifact:
-    """PR 3 satellite: machine-readable results from `python -m repro.bench all`."""
+    """Machine-readable results from `python -m repro.bench all`."""
 
     def test_all_writes_schema_complete_artifact(self, tmp_path, capsys):
         import json
 
         from repro.bench.__main__ import FIGURE_MACHINES, FIGURES, main
 
-        out = tmp_path / "BENCH_PR3.json"
+        out = tmp_path / "BENCH_PR4.json"
         assert main(["all", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
-        assert data["artifact"] == "BENCH_PR3"
+        assert data["artifact"] == "BENCH_PR4"
         assert set(data["figures"]) == set(FIGURES) | {"fig_overlap"}
         for name, entry in data["figures"].items():
             if name == "fig_overlap":
@@ -190,4 +190,4 @@ class TestBenchArtifact:
     def test_default_artifact_name(self):
         from repro.bench.__main__ import ARTIFACT
 
-        assert ARTIFACT == "BENCH_PR3.json"
+        assert ARTIFACT == "BENCH_PR4.json"

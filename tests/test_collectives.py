@@ -62,10 +62,15 @@ class TestBcast:
         assert isinstance(info.value.original, CommError)
 
     def test_receivers_get_copies(self):
-        """Mutating the broadcast value on one rank must not leak."""
+        """Mutating the broadcast value on one rank must not leak.
+
+        Received arrays may arrive read-only (the COW payload contract),
+        so ranks copy before mutating; the copies must be independent.
+        """
 
         def body(comm):
             v = comm.bcast(np.zeros(4) if comm.rank == 0 else None, root=0)
+            v = np.asarray(v).copy()
             v[:] = comm.rank
             comm.barrier()
             return v

@@ -59,6 +59,12 @@ class TestSendRecv:
         assert np.array_equal(res.values[1], np.arange(5.0, 10.0).reshape(1, 5))
 
     def test_receiver_mutation_isolated(self):
+        """A receiver working on its payload never reaches the sender.
+
+        Received arrays may be read-only (COW contract), so the receiver
+        copies before mutating; the sender's buffer must be untouched.
+        """
+
         def body(comm):
             if comm.rank == 0:
                 buf = np.ones(4)
@@ -66,7 +72,8 @@ class TestSendRecv:
                 comm.barrier()
                 return buf.copy()
             got = comm.recv(source=0, tag=1)
-            got[0][:] = 7.0
+            mine = np.asarray(got[0]).copy()
+            mine[:] = 7.0
             comm.barrier()
             return None
 

@@ -1,0 +1,168 @@
+"""The wall-clock fast path must be observationally invisible.
+
+Two families of checks:
+
+- **A/B identity** — the messaging-heavy workloads (Jacobi Poisson, 2-D
+  FFT, one-deep mergesort) run with the fast path forced off and forced
+  on, under the deterministic schedule and under eight fuzzed-schedule
+  seeds.  Per-rank virtual clocks must be *bitwise* identical and the
+  result digests equal: the fast path may only change host seconds.
+- **Copy-on-write contract** — with the fast path on, a received ndarray
+  is read-only (``np.asarray(x).copy()`` to mutate) and shares no
+  mutable memory with the sender; forwarded frozen payloads are shared
+  zero-copy.  With the fast path off, the historical eager-deep-copy
+  semantics (writable received arrays) are preserved.
+"""
+
+import numpy as np
+import pytest
+
+from repro import fastpath, spmd_run
+from repro.verify import fuzzed_schedule, value_digest
+from repro.bench.wallclock import WORKLOADS
+
+NPROCS = 8
+CHAOS_SEEDS = range(8)
+
+APPS = sorted(WORKLOADS)
+
+
+def _run_ab(app: str):
+    """One workload under fast-off then fast-on; returns both RunResults."""
+    runner, _ = WORKLOADS[app]
+    with fastpath.forced(False):
+        off = runner(NPROCS)
+    with fastpath.forced(True):
+        on = runner(NPROCS)
+    return off, on
+
+
+def _assert_identical(off, on, what: str) -> None:
+    # Clocks: exact float equality, not approx — the fast path must not
+    # change a single virtual timestamp.
+    assert off.times == on.times, f"{what}: virtual clocks differ fast off vs on"
+    assert value_digest([off.times, off.values]) == value_digest(
+        [on.times, on.values]
+    ), f"{what}: results differ fast off vs on"
+
+
+# -- A/B identity -----------------------------------------------------------
+@pytest.mark.parametrize("app", APPS)
+def test_ab_identity_deterministic(app):
+    off, on = _run_ab(app)
+    _assert_identical(off, on, app)
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_ab_identity_fuzzed(app, seed):
+    """Under a fuzzed schedule the two modes must still agree: the
+    scheduler's rng stream is part of the observable behaviour, so any
+    fast-path divergence (an extra draw, a reordered pick) shows up as a
+    clock or digest mismatch here."""
+    with fuzzed_schedule(seed):
+        off, on = _run_ab(app)
+    _assert_identical(off, on, f"{app} seed={seed}")
+
+
+# -- copy-on-write contract --------------------------------------------------
+def _send_then_mutate(comm):
+    if comm.rank == 0:
+        arr = np.arange(8.0)
+        comm.send(1, arr)
+        arr[0] = 99.0  # must not reach the receiver
+        return None
+    if comm.rank == 1:
+        return comm.recv(0)
+    return None
+
+
+def test_received_array_is_readonly_fast_on():
+    with fastpath.forced(True):
+        res = spmd_run(2, _send_then_mutate)
+    got = res.values[1]
+    assert not got.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        got[0] = -1.0
+    # The documented mutation idiom always works.
+    mine = np.asarray(got).copy()
+    mine[0] = -1.0
+    assert mine[0] == -1.0
+
+
+@pytest.mark.parametrize("flag", [False, True])
+def test_sender_mutation_after_send_is_isolated(flag):
+    with fastpath.forced(flag):
+        res = spmd_run(2, _send_then_mutate)
+    np.testing.assert_array_equal(res.values[1], np.arange(8.0))
+
+
+def test_received_array_is_writable_fast_off():
+    """Fast off preserves the historical semantics: eager deep copies,
+    received arrays freely mutable."""
+    with fastpath.forced(False):
+        res = spmd_run(2, _send_then_mutate)
+    got = res.values[1]
+    assert got.flags.writeable
+    got[0] = -1.0
+    assert got[0] == -1.0
+
+
+def _bcast_array(comm):
+    value = np.arange(16.0) if comm.rank == 0 else None
+    return comm.bcast(value, root=0)
+
+
+def test_forwarded_frozen_payload_is_shared_zero_copy():
+    """A non-root bcast hop receives an already-frozen buffer and
+    forwards that same object to its children instead of re-copying.
+    (In the 4-rank binomial tree rank 2 forwards root's message to
+    rank 3.)"""
+    with fastpath.forced(True):
+        res = spmd_run(4, _bcast_array)
+    received = [res.values[r] for r in range(1, 4)]
+    for arr in received:
+        np.testing.assert_array_equal(arr, np.arange(16.0))
+        assert not arr.flags.writeable
+    assert res.values[3] is res.values[2]
+
+
+def test_bcast_payloads_are_distinct_copies_fast_off():
+    with fastpath.forced(False):
+        res = spmd_run(4, _bcast_array)
+    received = [res.values[r] for r in range(1, 4)]
+    assert received[0] is not received[1]
+    received[0][0] = 123.0  # historical mode: private writable copies
+    np.testing.assert_array_equal(received[1], np.arange(16.0))
+
+
+def _recv_then_forward(comm):
+    if comm.rank == 0:
+        comm.send(1, np.arange(4.0))
+        return None
+    if comm.rank == 1:
+        got = comm.recv(0)
+        comm.send(2, got)  # forwarding a frozen array must not re-copy
+        return got
+    return comm.recv(1)
+
+
+def test_forwarding_a_received_array_shares_it():
+    with fastpath.forced(True):
+        res = spmd_run(3, _recv_then_forward)
+    assert res.values[2] is res.values[1]
+
+
+# -- the switch itself -------------------------------------------------------
+def test_set_enabled_returns_previous_and_forced_restores():
+    initial = fastpath.enabled()
+    try:
+        previous = fastpath.set_enabled(True)
+        assert previous == initial
+        assert fastpath.set_enabled(False) is True
+        assert not fastpath.enabled()
+        with fastpath.forced(True):
+            assert fastpath.enabled()
+        assert not fastpath.enabled()
+    finally:
+        fastpath.set_enabled(initial)
