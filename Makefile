@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs-smoke chaos bench bench-wallclock lint
+.PHONY: verify test obs-smoke chaos bench bench-wallclock bench-parallel lint
 
 # Default gate: lint (when ruff is available), tier-1 tests, and the
 # observability smoke check.
@@ -36,7 +36,7 @@ chaos:
 	$(PYTHON) -m pytest -q -m chaos
 
 # Reduced-scale sweep over every figure plus the blocking-vs-overlapped
-# exchange ablation; writes BENCH_PR4.json.
+# exchange ablation; writes BENCH_PR5.json.
 bench:
 	$(PYTHON) -m repro.bench all
 
@@ -46,3 +46,10 @@ bench:
 # hot path or breaks the off-mode baseline outright).
 bench-wallclock:
 	$(PYTHON) -m repro.bench wallclock --repeats 1 --min-speedup 0.2
+
+# Process-parallel smoke: serial vs one-OS-process-per-rank, digest
+# identity checked on every row.  The speedup floor is generous (real
+# multi-core hosts measure well above it) and applies only when the
+# host has >= 4 usable cores — below that there is nothing to win.
+bench-parallel:
+	$(PYTHON) -m repro.bench parallel --repeats 1 --min-speedup 1.1 --min-cpus 4

@@ -6,19 +6,22 @@ Usage::
     python -m repro.bench fig17 --json out.json
     python -m repro.bench overlap          # blocking vs overlapped A/B
     python -m repro.bench wallclock        # simulator host-time ablation
+    python -m repro.bench parallel         # serial vs process-parallel
     python -m repro.bench all              # every figure, reduced scale,
-                                           #   writes BENCH_PR4.json
+                                           #   writes BENCH_PR5.json
     python -m repro.bench list
 
 Each figure command runs the corresponding experiment, prints the
 speedup table and an ASCII plot, and optionally writes the series as
 JSON.  ``wallclock`` measures *host* seconds for the messaging-heavy
 workloads with the fast path off vs on (virtual time is identical in
-both modes — that is checked).  ``all`` sweeps every figure at a
-reduced problem scale, runs the blocking-vs-overlapped exchange
-ablation and the wallclock ablation, and emits a machine-readable
-artifact (``BENCH_PR4.json``) so the performance trajectory can be
-tracked across PRs.
+both modes — that is checked); ``parallel`` measures the same workloads
+on the deterministic backend vs one-OS-process-per-rank
+(:mod:`repro.runtime.parallel`), again digest-checked.  ``all`` sweeps
+every figure at a reduced problem scale, runs the
+blocking-vs-overlapped exchange ablation and both host-time ablations,
+and emits a machine-readable artifact (``BENCH_PR5.json``) so the
+performance trajectory can be tracked across PRs.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import json
 import sys
 
 from repro.bench import figures, wallclock
+from repro.bench import parallel as parallel_bench
 from repro.bench.harness import SpeedupCurve
 from repro.bench.report import format_curves, render_ascii_plot
 
@@ -41,7 +45,7 @@ FIGURES = {
 }
 
 #: default output of ``python -m repro.bench all``
-ARTIFACT = "BENCH_PR4.json"
+ARTIFACT = "BENCH_PR5.json"
 
 #: machine model each figure runs on (matches the figure defaults)
 FIGURE_MACHINES = {
@@ -94,7 +98,7 @@ def render_overlap_table(rows: list[dict]) -> str:
 
 def run_all(json_path: str) -> int:
     """Sweep every figure at reduced scale and write the JSON artifact."""
-    report: dict = {"artifact": "BENCH_PR4", "figures": {}}
+    report: dict = {"artifact": "BENCH_PR5", "figures": {}}
     for name, (experiment, description) in FIGURES.items():
         curves = experiment(**FAST_PARAMS[name])
         entry = {
@@ -131,6 +135,18 @@ def run_all(json_path: str) -> int:
     print()
     print(wallclock.render_table(rows))
     problems = wallclock.check_rows(rows, min_speedup=None)
+    parallel_rows = parallel_bench.run_ablation()
+    report["parallel"] = {
+        "description": "simulator host-seconds, deterministic backend vs "
+        "one OS process per rank (virtual time identical)",
+        "procs": wallclock.DEFAULT_NPROCS,
+        "repeats": wallclock.DEFAULT_REPEATS,
+        "host_cpus": parallel_bench.host_cpus(),
+        "rows": [r.to_json() for r in parallel_rows],
+    }
+    print()
+    print(parallel_bench.render_table(parallel_rows))
+    problems += parallel_bench.check_rows(parallel_rows, min_speedup=None)
     if problems:
         for p in problems:
             print(f"FAIL: {p}")
@@ -148,10 +164,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[*FIGURES, "overlap", "wallclock", "all", "list"],
+        choices=[*FIGURES, "overlap", "wallclock", "parallel", "all", "list"],
         help="figure to regenerate, 'overlap' for the blocking-vs-"
         "overlapped exchange ablation, 'wallclock' for the simulator "
-        "host-time ablation, 'all' for the reduced-scale sweep "
+        "host-time ablation, 'parallel' for the serial-vs-process-"
+        "parallel ablation, 'all' for the reduced-scale sweep "
         f"(writes {ARTIFACT}), or 'list' to enumerate them",
     )
     parser.add_argument("--json", metavar="PATH", help="also write the series as JSON")
@@ -162,15 +179,31 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats",
         type=int,
         default=wallclock.DEFAULT_REPEATS,
-        help="wallclock only: host-time samples per mode (best-of)",
+        help="wallclock/parallel: host-time samples per mode (best-of)",
     )
     parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
         metavar="X",
-        help="wallclock only: fail unless every workload's fast-path "
-        "speedup is at least X (the CI smoke's generous regression floor)",
+        help="wallclock/parallel: fail unless the speedup clears X "
+        "(the CI smoke's generous regression floor; for 'parallel' the "
+        "best row must clear it, and only on hosts with --min-cpus cores)",
+    )
+    parser.add_argument(
+        "--min-cpus",
+        type=int,
+        default=4,
+        metavar="N",
+        help="parallel only: apply --min-speedup only when the host has "
+        "at least N usable cores (speedup is capped by core count)",
+    )
+    parser.add_argument(
+        "--nprocs",
+        type=int,
+        default=wallclock.DEFAULT_NPROCS,
+        metavar="P",
+        help="parallel only: rank count for the ablation",
     )
     args = parser.parse_args(argv)
 
@@ -179,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}: {description}")
         print("  overlap: blocking vs overlapped ghost-exchange ablation")
         print("  wallclock: simulator host-time ablation (fast path off vs on)")
+        print("  parallel: serial vs process-parallel host-time ablation")
         return 0
 
     if args.figure == "all":
@@ -188,6 +222,20 @@ def main(argv: list[str] | None = None) -> int:
         rows = wallclock.run_ablation(repeats=args.repeats)
         print(wallclock.render_table(rows))
         problems = wallclock.check_rows(rows, min_speedup=args.min_speedup)
+        for p in problems:
+            print(f"FAIL: {p}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump([r.to_json() for r in rows], fh, indent=2)
+            print(f"\nseries written to {args.json}")
+        return 1 if problems else 0
+
+    if args.figure == "parallel":
+        rows = parallel_bench.run_ablation(nprocs=args.nprocs, repeats=args.repeats)
+        print(parallel_bench.render_table(rows))
+        problems = parallel_bench.check_rows(
+            rows, min_speedup=args.min_speedup, min_cpus=args.min_cpus
+        )
         for p in problems:
             print(f"FAIL: {p}")
         if args.json:

@@ -32,16 +32,20 @@ class ExecutionMode(str, enum.Enum):
 
     ``SEQUENTIAL`` is the paper's debuggable execution: logical processes
     interleave one at a time in rank order.  ``THREADS`` runs ranks
-    concurrently.  Deterministic archetype programs must produce the same
-    results under both.
+    concurrently as threads of this process; ``PARALLEL`` runs one OS
+    process per rank (real multi-core execution).  Deterministic archetype
+    programs must produce the same results under all three.
     """
 
     SEQUENTIAL = "sequential"
     THREADS = "threads"
+    PARALLEL = "parallel"
 
     @property
     def backend(self) -> str:
-        return "deterministic" if self is ExecutionMode.SEQUENTIAL else "threads"
+        if self is ExecutionMode.SEQUENTIAL:
+            return "deterministic"
+        return "threads" if self is ExecutionMode.THREADS else "parallel"
 
 
 class Archetype:
@@ -71,7 +75,7 @@ class Archetype:
         self,
         nprocs: int,
         *args: Any,
-        mode: ExecutionMode | str = ExecutionMode.SEQUENTIAL,
+        mode: ExecutionMode | str | None = None,
         machine: MachineModel = IDEAL,
         trace: bool = False,
         **kwargs: Any,
@@ -80,10 +84,13 @@ class Archetype:
 
         Keyword-only parameters select the execution mode, machine model,
         and tracing; everything else is forwarded to the program body.
+        ``mode=None`` (the default) defers to the ``REPRO_BACKEND``
+        environment default via the backend registry, falling back to
+        sequential execution.
         """
         if nprocs < 1:
             raise ArchetypeError(f"{self.name}: nprocs must be >= 1, got {nprocs}")
-        mode = ExecutionMode(mode)
+        backend = None if mode is None else ExecutionMode(mode).backend
         body_args, body_kwargs = self.prepare(nprocs, *args, **kwargs)
         return spmd_run(
             nprocs,
@@ -91,6 +98,6 @@ class Archetype:
             args=body_args,
             kwargs=body_kwargs,
             machine=machine,
-            backend=mode.backend,
+            backend=backend,
             trace=trace,
         )

@@ -224,6 +224,43 @@ class MetricsRegistry:
         """Plain-data view of every instrument, sorted by name."""
         return {name: self._instruments[name].snapshot() for name in self.names()}
 
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how per-process metrics from the parallel backend's
+        workers reach the parent: counters and gauges add their values,
+        histograms add per-bucket counts and recombine sum/count/min/max.
+        Instruments missing here are created (histogram bounds recovered
+        from the snapshot's bucket keys); kind or bucket mismatches raise
+        :class:`MetricsError` rather than silently mixing streams.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                self.gauge(name).inc(data["value"])
+            elif kind == "histogram":
+                bucket_counts = data["buckets"]
+                bounds = tuple(float(b) for b in bucket_counts if b != "+inf")
+                hist = self.histogram(name, buckets=bounds)
+                if hist.buckets != bounds:
+                    raise MetricsError(
+                        f"histogram {name!r} bucket mismatch: registry has "
+                        f"{hist.buckets}, snapshot has {bounds}"
+                    )
+                with hist._lock:
+                    for i, count in enumerate(bucket_counts.values()):
+                        hist._counts[i] += count
+                    hist._count += data["count"]
+                    hist._sum += data["sum"]
+                    if data["min"] is not None:
+                        hist._min = min(hist._min, data["min"])
+                    if data["max"] is not None:
+                        hist._max = max(hist._max, data["max"])
+            else:
+                raise MetricsError(f"metric {name!r} has unknown kind {kind!r}")
+
     def render(self) -> str:
         """Human-readable dump, one line per scalar and histogram."""
         lines = []

@@ -5,7 +5,9 @@ inside one Python process: each *rank* runs the same program body in its
 own thread with a private mailbox, and a per-rank *virtual clock* accrues
 time according to a :class:`~repro.machines.MachineModel`.
 
-Three backends are provided:
+Four backends are provided (registered in :mod:`repro.runtime.backends`;
+select one with ``spmd_run(..., backend=...)`` or the ``REPRO_BACKEND``
+environment variable):
 
 ``deterministic`` (default)
     Exactly one rank executes at a time; the scheduler always resumes the

@@ -1,0 +1,168 @@
+"""The backend registry: one mapping from names to scheduling backends.
+
+Every entry point that lets a caller pick a backend — :func:`repro.runtime.
+spmd.spmd_run`, :meth:`Archetype.run <repro.core.archetype.Archetype.run>`,
+``python -m repro.bench`` and ``python -m repro.verify`` — resolves the
+name here instead of wiring constructors ad hoc.  The registry also owns
+the ``REPRO_BACKEND`` environment default: passing ``backend=None`` (or
+``mode=None``) to a runner means "whatever ``REPRO_BACKEND`` says, else
+deterministic", which is how a whole bench sweep or test run is switched
+onto another backend without touching call sites.
+
+Backends come in two execution styles:
+
+- *in-process* backends (deterministic, fuzzed, threads) construct a
+  :class:`~repro.runtime.scheduler.Backend` and drive rank bodies as
+  threads of the calling process;
+- the *process-parallel* backend (``parallel``) runs one OS process per
+  rank and is orchestrated by :func:`repro.runtime.parallel.run_parallel`
+  — it cannot execute arbitrary closures built around shared state, so
+  :func:`spmd_run` dispatches on :attr:`BackendSpec.in_process`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: environment variable naming the default backend
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend."""
+
+    name: str
+    description: str
+    #: True when the backend runs rank bodies as threads of this process
+    #: (constructed via :attr:`factory`); False for the process-parallel
+    #: backend, which :func:`spmd_run` hands off to ``run_parallel``.
+    in_process: bool
+    #: ``factory(nprocs, **options) -> Backend`` for in-process backends
+    factory: Callable | None = None
+    #: alternative names accepted by :func:`resolve`
+    aliases: tuple[str, ...] = field(default=())
+
+
+def _make_deterministic(nprocs: int, **options) -> "object":
+    from repro.runtime.scheduler import DeterministicBackend
+
+    return DeterministicBackend(nprocs)
+
+
+def _make_fuzzed(nprocs: int, **options) -> "object":
+    from repro.runtime.scheduler import FuzzedBackend
+
+    return FuzzedBackend(
+        nprocs,
+        seed=options.get("seed", 0),
+        perturb_matching=options.get("perturb_matching", True),
+        faults=options.get("faults"),
+    )
+
+
+def _make_threads(nprocs: int, **options) -> "object":
+    from repro.runtime.scheduler import ThreadedBackend
+
+    return ThreadedBackend(
+        nprocs, deadlock_timeout=options.get("deadlock_timeout", 30.0)
+    )
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register(spec: BackendSpec) -> None:
+    """Add *spec* to the registry (idempotent for an identical re-register)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ReproError(f"backend {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+
+
+register(
+    BackendSpec(
+        name="deterministic",
+        description="run-to-block, one rank at a time, virtual-time order "
+        "(reproducible; the reference for digests and clocks)",
+        in_process=True,
+        factory=_make_deterministic,
+    )
+)
+register(
+    BackendSpec(
+        name="fuzzed",
+        description="seeded-PRNG run-to-block scheduling with legal wildcard "
+        "perturbation and fault injection (the verification backend)",
+        in_process=True,
+        factory=_make_fuzzed,
+    )
+)
+register(
+    BackendSpec(
+        name="threads",
+        description="free-running OS threads, condition-variable mailboxes "
+        "(concurrent, GIL-serialised)",
+        in_process=True,
+        factory=_make_threads,
+        aliases=("threaded",),
+    )
+)
+register(
+    BackendSpec(
+        name="parallel",
+        description="one OS process per rank with shared-memory payload "
+        "transport (real multi-core execution)",
+        in_process=False,
+        aliases=("processes",),
+    )
+)
+
+
+def names() -> tuple[str, ...]:
+    """Canonical backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def resolve(name: str | None) -> str:
+    """Canonicalise *name* (``None`` → the ``REPRO_BACKEND`` default).
+
+    Raises :class:`~repro.errors.ReproError` for unknown names, listing
+    the registered choices.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or "deterministic"
+    name = _ALIASES.get(name, name)
+    if name not in _REGISTRY:
+        raise ReproError(f"unknown backend {name!r}; choose from {names()}")
+    return name
+
+
+def get(name: str | None) -> BackendSpec:
+    """The :class:`BackendSpec` registered under *name* (aliases resolved)."""
+    return _REGISTRY[resolve(name)]
+
+
+def create(name: str | None, nprocs: int, **options) -> "object":
+    """Construct an in-process backend by name.
+
+    *options* are the union of every backend's knobs (``seed``,
+    ``perturb_matching``, ``faults``, ``deadlock_timeout``); each factory
+    picks what it understands.  The process-parallel backend has no
+    in-process factory — callers must dispatch on
+    :attr:`BackendSpec.in_process` first.
+    """
+    spec = get(name)
+    if spec.factory is None:
+        raise ReproError(
+            f"backend {spec.name!r} is process-parallel; it is driven by "
+            "repro.runtime.parallel.run_parallel, not an in-process factory"
+        )
+    return spec.factory(nprocs, **options)

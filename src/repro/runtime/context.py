@@ -430,9 +430,7 @@ class RankContext:
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """True when a matching message is already waiting (non-blocking)."""
         global_source = source if source == ANY_SOURCE else self._to_global(source)
-        return self._backend.mailboxes[self.global_rank].has_match(
-            global_source, tag, self._ctx
-        )
+        return self._backend.probe_match(self.global_rank, global_source, tag, self._ctx)
 
     # -- nonblocking point-to-point -----------------------------------------
     #

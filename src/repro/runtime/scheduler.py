@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import random
 import threading
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from enum import Enum
@@ -130,6 +131,15 @@ class Backend:
         self, rank: int, source: int, tag: int, ctx: int, describe: str
     ) -> Message:
         raise NotImplementedError
+
+    def probe_match(self, rank: int, source: int, tag: int, ctx: int) -> bool:
+        """Non-blocking: is a matching message available to *rank* now?
+
+        Backends with out-of-band transport (the process-parallel backend's
+        delivery queues) override this to ingest pending deliveries before
+        consulting the mailbox.
+        """
+        return self.mailboxes[rank].has_match(source, tag, ctx)
 
     # -- posted receives (the nonblocking layer) --------------------------
     # The run-to-block backends mutate mailboxes only from the single
@@ -746,23 +756,28 @@ class ThreadedBackend(Backend):
         cond = self._conds[rank]
         mailbox = self.mailboxes[rank]
         with cond:
-            waited = 0.0
-            step = 0.1
+            start = time.monotonic()
             while True:
                 msg = mailbox.take_match(source, tag, ctx)
                 if msg is not None:
                     return msg
                 if self._failed.is_set():
                     raise _Aborted()
-                if waited >= self.deadlock_timeout:
+                # Wait out the full remaining budget on the condition
+                # variable: a delivery or failure notifies, so idle waits
+                # burn no wake cycles, and the timeout is measured from
+                # the monotonic clock instead of accumulated in coarse
+                # polling steps that could overshoot by up to 100 ms.
+                waited = time.monotonic() - start
+                remaining = self.deadlock_timeout - waited
+                if remaining <= 0.0:
                     _DEADLOCKS.inc()
                     raise DeadlockError(
                         f"rank {rank} waited {waited:.1f}s for {describe}; "
                         "presumed deadlock",
                         waiting={rank: describe},
                     )
-                cond.wait(step)
-                waited += step
+                cond.wait(remaining)
 
     # Posted-receive operations serialise with deliveries under the
     # destination rank's condition lock (the mailbox itself is unlocked).
@@ -782,27 +797,31 @@ class ThreadedBackend(Backend):
         with self._conds[rank]:
             return self.mailboxes[rank].peek_post(post_id)
 
+    def probe_match(self, rank: int, source: int, tag: int, ctx: int) -> bool:
+        with self._conds[rank]:
+            return self.mailboxes[rank].has_match(source, tag, ctx)
+
     def wait_any_post(self, rank: int, post_ids: list[int], describe: str) -> list[int]:
         cond = self._conds[rank]
         mailbox = self.mailboxes[rank]
         with cond:
-            waited = 0.0
-            step = 0.1
+            start = time.monotonic()
             while True:
                 ready = [p for p in post_ids if mailbox.post_ready(p)]
                 if ready:
                     return ready
                 if self._failed.is_set():
                     raise _Aborted()
-                if waited >= self.deadlock_timeout:
+                waited = time.monotonic() - start
+                remaining = self.deadlock_timeout - waited
+                if remaining <= 0.0:
                     _DEADLOCKS.inc()
                     raise DeadlockError(
                         f"rank {rank} waited {waited:.1f}s for {describe}; "
                         "presumed deadlock",
                         waiting={rank: describe},
                     )
-                cond.wait(step)
-                waited += step
+                cond.wait(remaining)
 
     def run(self, bodies: list[Callable[[], None]]) -> None:
         threads = [

@@ -17,17 +17,9 @@ from typing import Any
 from repro.errors import ReproError
 from repro.machines.catalog import IDEAL
 from repro.machines.model import MachineModel
-from repro.runtime.scheduler import (
-    Backend,
-    DeterministicBackend,
-    FaultPlan,
-    FuzzedBackend,
-    ThreadedBackend,
-)
+from repro.runtime import backends
+from repro.runtime.scheduler import FaultPlan, FuzzedBackend
 from repro.trace.tracer import Tracer
-
-#: registered backend names
-_BACKENDS = ("deterministic", "fuzzed", "threads")
 
 
 @dataclass(frozen=True)
@@ -92,6 +84,8 @@ class RunResult:
     #: for fuzzed runs, the backend's (rank, clock) scheduling log —
     #: identical across runs with the same seed (else ``None``)
     schedule: list[tuple[int, float]] | None = field(default=None, repr=False)
+    #: canonical name of the backend that produced this result
+    backend: str = "deterministic"
 
     @property
     def nprocs(self) -> int:
@@ -115,7 +109,7 @@ def spmd_run(
     args: Sequence[Any] = (),
     kwargs: Mapping[str, Any] | None = None,
     machine: MachineModel = IDEAL,
-    backend: str = "deterministic",
+    backend: str | None = None,
     trace: bool = False,
     deadlock_timeout: float = 30.0,
     seed: int = 0,
@@ -137,15 +131,20 @@ def spmd_run(
         Performance model used to charge virtual time (default: the
         cost-free ``IDEAL`` machine).
     backend:
+        A name registered in :mod:`repro.runtime.backends`:
         ``"deterministic"`` (reproducible run-to-block scheduling),
         ``"fuzzed"`` (seeded random run-to-block scheduling — see
-        :class:`~repro.runtime.scheduler.FuzzedBackend`), or
-        ``"threads"`` (free-running OS threads).
+        :class:`~repro.runtime.scheduler.FuzzedBackend`), ``"threads"``
+        (free-running OS threads), or ``"parallel"`` (one OS process per
+        rank — :mod:`repro.runtime.parallel`).  ``None`` (the default)
+        resolves the ``REPRO_BACKEND`` environment variable, falling back
+        to deterministic.
     trace:
         When true, record per-rank event traces on ``RunResult.tracer``.
     deadlock_timeout:
-        For the threaded backend, seconds a receive may starve before the
-        run is declared deadlocked.
+        For the threaded and parallel backends, seconds a receive may
+        starve (parallel: seconds of global no-progress with every rank
+        blocked) before the run is declared deadlocked.
     seed, perturb_matching, faults:
         Fuzzed-backend knobs (ignored by the other backends): the PRNG
         seed selecting the interleaving, whether wildcard-receive matching
@@ -162,28 +161,39 @@ def spmd_run(
             f"machine {machine.name!r} has at most {machine.max_nodes} nodes; "
             f"requested {nprocs}"
         )
-    if backend not in _BACKENDS:
-        raise ReproError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+    backend = backends.resolve(backend)
     if backend == "deterministic" and _override is not None:
         backend = "fuzzed"
         seed = _override.seed
         perturb_matching = _override.perturb_matching
         faults = _override.faults
 
+    if not backends.get(backend).in_process:
+        from repro.runtime.parallel import run_parallel
+
+        return run_parallel(
+            nprocs,
+            fn,
+            args=args,
+            kwargs=kwargs,
+            machine=machine,
+            trace=trace,
+            deadlock_timeout=deadlock_timeout,
+        )
+
     # Imported here (not at module top) to keep the layering acyclic:
     # repro.comm builds on repro.runtime primitives, while this entry
     # point hands applications the full communicator.
     from repro.comm.communicator import Comm
 
-    engine: Backend
-    if backend == "deterministic":
-        engine = DeterministicBackend(nprocs)
-    elif backend == "fuzzed":
-        engine = FuzzedBackend(
-            nprocs, seed=seed, perturb_matching=perturb_matching, faults=faults
-        )
-    else:
-        engine = ThreadedBackend(nprocs, deadlock_timeout=deadlock_timeout)
+    engine = backends.create(
+        backend,
+        nprocs,
+        seed=seed,
+        perturb_matching=perturb_matching,
+        faults=faults,
+        deadlock_timeout=deadlock_timeout,
+    )
 
     tracer = Tracer(nprocs) if trace else None
     engine.tracer = tracer
@@ -208,4 +218,5 @@ def spmd_run(
         machine=machine,
         tracer=tracer,
         schedule=list(engine.schedule_log) if isinstance(engine, FuzzedBackend) else None,
+        backend=backend,
     )

@@ -101,6 +101,16 @@ class Tracer:
             )
         )
 
+    def adopt(self, rank: int, events: list[Event]) -> None:
+        """Install *rank*'s event list wholesale.
+
+        Used by the process-parallel backend to merge trace buffers that
+        were recorded in a worker process back into the parent's tracer;
+        per-rank lists are independent, so adoption is a plain slot
+        assignment.
+        """
+        self.events[rank] = list(events)
+
     def events_for(self, rank: int) -> list[Event]:
         return self.events[rank]
 

@@ -12,6 +12,11 @@ found:
 minute); the default is the acceptance sweep with 16 seeds.  ``--replay
 SEED --program NAME`` re-runs one seed of one program and prints its
 digests — the debugging workflow once a finding names a seed.
+
+``--cross-backend`` runs the digest-identity matrix instead: each clean
+application on the deterministic, threaded, and process-parallel
+backends, requiring bitwise-identical digests of (clocks, values)
+across all three (:mod:`repro.verify.crossbackend`).
 """
 
 from __future__ import annotations
@@ -93,9 +98,25 @@ def main(argv: list[str] | None = None) -> int:
         "--replay", type=int, default=None, metavar="SEED",
         help="re-run one seed of --program and print its digests",
     )
+    parser.add_argument(
+        "--cross-backend",
+        action="store_true",
+        help="run the deterministic × threads × parallel digest-identity "
+        "matrix over the clean applications instead of schedule fuzzing",
+    )
     args = parser.parse_args(argv)
     seeds = 4 if args.smoke else args.seeds
     names = args.program or sorted(PROGRAMS)
+
+    if args.cross_backend:
+        from repro.verify.crossbackend import PROGRAMS as MATRIX_PROGRAMS
+        from repro.verify.crossbackend import cross_backend_matrix
+
+        chosen = [n for n in names if n in MATRIX_PROGRAMS] or None
+        report = cross_backend_matrix(programs=chosen)
+        print(report.summary())
+        print("cross-backend matrix:", "passed" if report.ok else "FAILED")
+        return 0 if report.ok else 1
 
     if args.replay is not None:
         if len(names) != 1:

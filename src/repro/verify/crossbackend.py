@@ -1,0 +1,132 @@
+"""Cross-backend digest identity: the parallel-backend correctness bar.
+
+The schedule fuzzer (:mod:`repro.verify.explorer`) certifies programs
+race-free *within* one backend by diffing digests across seeds.  This
+module checks the complementary claim across execution engines: a
+race-free program must produce bitwise-identical per-rank result digests
+and final virtual clocks on every backend — run-to-block deterministic,
+free-running threads, and one-OS-process-per-rank — because canonical
+clock charging makes virtual time schedule-independent and race freedom
+makes values interleaving-independent.  This is the property that lets
+``backend="parallel"`` be a pure wall-clock optimisation.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.runtime.backends import BACKEND_ENV, resolve
+from repro.runtime.spmd import RunResult
+from repro.verify.digest import value_digest
+
+#: the engines compared by default (canonical names)
+DEFAULT_BACKENDS = ("deterministic", "threads", "parallel")
+
+
+def _run_mergesort(backend: str) -> RunResult:
+    import numpy as np
+
+    from repro.apps.sorting.mergesort import one_deep_mergesort
+
+    data = np.random.default_rng(0).integers(0, 10**6, size=2048)
+    return one_deep_mergesort().run(4, data, mode=None)
+
+
+def _run_fft2d(backend: str) -> RunResult:
+    import numpy as np
+
+    from repro.apps.fft2d import fft2d_archetype
+
+    rng = np.random.default_rng(1)
+    arr = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
+    return fft2d_archetype().run(4, arr, 1, mode=None)
+
+
+def _run_poisson(backend: str) -> RunResult:
+    from repro.apps.poisson import poisson_archetype
+
+    return poisson_archetype().run(4, 12, 12, tolerance=1e-3, mode=None)
+
+
+#: name -> runner(backend) for the matrix (the fuzzer's clean programs)
+PROGRAMS: dict[str, Callable[[str], RunResult]] = {
+    "mergesort": _run_mergesort,
+    "fft2d": _run_fft2d,
+    "poisson": _run_poisson,
+}
+
+
+@dataclass
+class MatrixCell:
+    """One (program, backend) run, digested."""
+
+    program: str
+    backend: str
+    digest: str  #: digest over (times, values) — the full observable outcome
+    matches_reference: bool
+
+
+@dataclass
+class CrossBackendReport:
+    """Digest-identity matrix over programs × backends."""
+
+    reference: str  #: the backend every other backend is compared against
+    cells: list[MatrixCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.matches_reference for cell in self.cells)
+
+    def summary(self) -> str:
+        lines = [f"cross-backend digest matrix (reference: {self.reference})"]
+        for cell in self.cells:
+            mark = "ok" if cell.matches_reference else "DIVERGED"
+            lines.append(
+                f"  {cell.program:>10} × {cell.backend:<13} "
+                f"{cell.digest[:16]}  {mark}"
+            )
+        return "\n".join(lines)
+
+
+def cross_backend_matrix(
+    programs: list[str] | None = None,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    reference: str = "deterministic",
+) -> CrossBackendReport:
+    """Run each program on each backend and diff digests vs *reference*.
+
+    Backends are selected through the ``REPRO_BACKEND`` environment
+    default (restored afterwards), so the matrix exercises exactly the
+    resolution path users and CI rely on.
+    """
+    names = [resolve(b) for b in backends]
+    reference = resolve(reference)
+    if reference not in names:
+        names.insert(0, reference)
+    report = CrossBackendReport(reference=reference)
+    previous = os.environ.get(BACKEND_ENV)
+    try:
+        for program in programs or list(PROGRAMS):
+            runner = PROGRAMS[program]
+            digests: dict[str, str] = {}
+            for backend in names:
+                os.environ[BACKEND_ENV] = backend
+                result = runner(backend)
+                digests[backend] = value_digest([result.times, result.values])
+            for backend in names:
+                report.cells.append(
+                    MatrixCell(
+                        program=program,
+                        backend=backend,
+                        digest=digests[backend],
+                        matches_reference=digests[backend] == digests[reference],
+                    )
+                )
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = previous
+    return report

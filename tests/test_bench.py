@@ -159,10 +159,10 @@ class TestBenchArtifact:
 
         from repro.bench.__main__ import FIGURE_MACHINES, FIGURES, main
 
-        out = tmp_path / "BENCH_PR4.json"
+        out = tmp_path / "BENCH_PR5.json"
         assert main(["all", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
-        assert data["artifact"] == "BENCH_PR4"
+        assert data["artifact"] == "BENCH_PR5"
         assert set(data["figures"]) == set(FIGURES) | {"fig_overlap"}
         for name, entry in data["figures"].items():
             if name == "fig_overlap":
@@ -186,8 +186,17 @@ class TestBenchArtifact:
         for machine in machines:
             for row in (r for r in rows if r["machine"] == machine):
                 assert row["overlapped"] < row["blocking"], row
+        # Both host-time ablations ride along, digest-identical rows only.
+        assert {r["app"] for r in data["wallclock"]["rows"]} == {
+            "poisson",
+            "fft2d",
+            "mergesort",
+        }
+        for row in data["parallel"]["rows"]:
+            assert row["identical"] is True, row
+            assert row["host_cpus"] >= 1
 
     def test_default_artifact_name(self):
         from repro.bench.__main__ import ARTIFACT
 
-        assert ARTIFACT == "BENCH_PR4.json"
+        assert ARTIFACT == "BENCH_PR5.json"
