@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs-smoke chaos bench bench-wallclock bench-parallel lint
+.PHONY: verify test obs-smoke chaos bench bench-wallclock bench-parallel \
+	bench-pipeline coverage lint
 
 # Default gate: lint (when ruff is available), tier-1 tests, and the
 # observability smoke check.
@@ -36,9 +37,15 @@ chaos:
 	$(PYTHON) -m pytest -q -m chaos
 
 # Reduced-scale sweep over every figure plus the blocking-vs-overlapped
-# exchange ablation; writes BENCH_PR5.json.
+# exchange ablation and the pipeline farm-width sweep; writes
+# BENCH_PR6.json.
 bench:
 	$(PYTHON) -m repro.bench all
+
+# Pipeline smoke: the image-pipeline throughput/latency sweep on both
+# modelled machines (virtual time only — fast everywhere).
+bench-pipeline:
+	$(PYTHON) -m repro.bench pipeline
 
 # Wall-clock fast-path smoke: one sample per mode, digest identity
 # checked, and a deliberately generous regression floor (typical
@@ -53,3 +60,17 @@ bench-wallclock:
 # host has >= 4 usable cores — below that there is nothing to win.
 bench-parallel:
 	$(PYTHON) -m repro.bench parallel --repeats 1 --min-speedup 1.1 --min-cpus 4
+
+# Coverage with a soft floor: the report is informational (exit 0) so a
+# dip reads as a warning in CI rather than a red build; the floor keeps
+# the expectation visible.  Configured in pyproject ([tool.coverage.*]).
+# The offline container may not ship pytest-cov; CI installs it.
+COVERAGE_FLOOR ?= 75
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q --cov=repro --cov-report=term && \
+		{ $(PYTHON) -m coverage report --fail-under=$(COVERAGE_FLOOR) >/dev/null 2>&1 \
+			|| echo "WARNING: coverage below the $(COVERAGE_FLOOR)% soft floor (report-only)"; }; \
+	else \
+		echo "pytest-cov not installed; skipping coverage (CI runs it)"; \
+	fi

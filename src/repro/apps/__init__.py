@@ -18,4 +18,12 @@ Mesh-spectral applications (§4):
 - :mod:`repro.apps.spectralflow` — axisymmetric spectral incompressible
   flow (§4.5.3);
 - :mod:`repro.apps.smog` — airshed photochemical smog model (§4.5.4).
+
+Beyond the paper, pipeline/farm applications (ROADMAP archetype growth):
+
+- :mod:`repro.apps.knapsack` — 0/1 knapsack under branch and bound;
+- :mod:`repro.apps.imagepipe` — streaming image-filter pipeline with a
+  farmed blur stage;
+- :mod:`repro.apps.knapfarm` — a stream of knapsack instances through a
+  solver farm, reusing the branch-and-bound archetype's search.
 """

@@ -1,0 +1,90 @@
+"""Farmed branch and bound: a stream of knapsack instances through a
+worker farm on the pipeline archetype.
+
+This is the other parallelization axis for branch and bound: instead of
+one search parallelized across ranks (:mod:`repro.core.branchbound`'s
+manager/worker), a *stream* of independent instances is farmed out,
+each solved by the archetype's sequential search on one farm worker.
+The solver is reused verbatim — ``BranchAndBound._sequential`` only
+needs the ``charge`` surface of a communicator, which
+:class:`~repro.core.pipeline.StageContext` provides — so the same
+search code runs under both archetypes.
+
+Stages: a ``solve`` farm (readonly state: per-worker solver settings)
+followed by a ``best`` accumulator that folds the minimum objective
+over the stream (objective is the negated knapsack value, so the
+minimum is the best solution seen).
+"""
+
+from __future__ import annotations
+
+from repro.apps.knapsack import (
+    KnapsackInstance,
+    knapsack_problem,
+    random_instance,
+)
+from repro.core.branchbound import BnBResult, BranchAndBound
+from repro.core.pipeline import (
+    FarmStage,
+    PipelineArchetype,
+    Stage,
+    StageContext,
+    StateAccess,
+)
+from repro.runtime.spmd import RunResult
+
+
+def random_instances(
+    count: int, nitems: int = 12, seed: int = 0
+) -> list[KnapsackInstance]:
+    """A reproducible stream of independent knapsack instances."""
+    return [random_instance(nitems, seed=seed + i) for i in range(count)]
+
+
+def _solve(ctx: StageContext, inst: KnapsackInstance, state) -> BnBResult:
+    solver = BranchAndBound(knapsack_problem(inst, **(state or {})))
+    return solver._sequential(ctx)
+
+
+def _best(ctx: StageContext, res: BnBResult, state: float) -> tuple[BnBResult, float]:
+    return res, (res.value if res.value < state else state)
+
+
+def knapsack_farm(
+    workers: int = 4,
+    window: int = 2,
+    ordered: bool = True,
+    bound_flops: float | None = None,
+) -> PipelineArchetype:
+    """A ``workers``-wide solve farm plus the best-objective accumulator.
+
+    ``run(pipeline.nprocs, instances)``; the collector's list holds one
+    :class:`~repro.core.branchbound.BnBResult` per instance (stream
+    order when ``ordered``), and ``best_value`` extracts the best
+    knapsack value over the whole stream.
+    """
+    settings = {} if bound_flops is None else {"bound_flops": bound_flops}
+    return PipelineArchetype(
+        [
+            FarmStage(
+                "solve",
+                _solve,
+                workers=workers,
+                init_state=lambda w: settings,
+            ),
+            Stage(
+                "best",
+                _best,
+                state_access=StateAccess.ACCUMULATOR,
+                init_state=lambda w: float("inf"),
+                combine=min,
+            ),
+        ],
+        window=window,
+        ordered=ordered,
+    )
+
+
+def best_value(pipeline: PipelineArchetype, result: RunResult) -> float:
+    """The best knapsack value found across the stream (un-negated)."""
+    return -pipeline.accumulated_state(result, "best")

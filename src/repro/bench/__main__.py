@@ -5,10 +5,11 @@ Usage::
     python -m repro.bench fig06            # Figure 6 at default scale
     python -m repro.bench fig17 --json out.json
     python -m repro.bench overlap          # blocking vs overlapped A/B
+    python -m repro.bench pipeline         # farm-width throughput/latency
     python -m repro.bench wallclock        # simulator host-time ablation
     python -m repro.bench parallel         # serial vs process-parallel
     python -m repro.bench all              # every figure, reduced scale,
-                                           #   writes BENCH_PR5.json
+                                           #   writes BENCH_PR6.json
     python -m repro.bench list
 
 Each figure command runs the corresponding experiment, prints the
@@ -17,11 +18,14 @@ JSON.  ``wallclock`` measures *host* seconds for the messaging-heavy
 workloads with the fast path off vs on (virtual time is identical in
 both modes — that is checked); ``parallel`` measures the same workloads
 on the deterministic backend vs one-OS-process-per-rank
-(:mod:`repro.runtime.parallel`), again digest-checked.  ``all`` sweeps
-every figure at a reduced problem scale, runs the
-blocking-vs-overlapped exchange ablation and both host-time ablations,
-and emits a machine-readable artifact (``BENCH_PR5.json``) so the
-performance trajectory can be tracked across PRs.
+(:mod:`repro.runtime.parallel`), again digest-checked.  ``pipeline``
+sweeps the image pipeline's blur-farm width and reports virtual-time
+throughput and per-frame latency on both modelled machines.  ``all``
+sweeps every figure at a reduced problem scale, runs the
+blocking-vs-overlapped exchange ablation, the pipeline farm-width
+sweep, and both host-time ablations, and emits a machine-readable
+artifact (``BENCH_PR6.json``) so the performance trajectory can be
+tracked across PRs.
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ FIGURES = {
 }
 
 #: default output of ``python -m repro.bench all``
-ARTIFACT = "BENCH_PR5.json"
+ARTIFACT = "BENCH_PR6.json"
 
 #: machine model each figure runs on (matches the figure defaults)
 FIGURE_MACHINES = {
@@ -83,6 +87,20 @@ def curves_to_json(curves: list[SpeedupCurve]) -> list[dict]:
     ]
 
 
+def render_pipeline_table(rows: list[dict]) -> str:
+    lines = [
+        "image pipeline: throughput/latency vs blur-farm width (virtual time)",
+        f"{'machine':>14} {'width':>5} {'P':>3} {'makespan':>12} "
+        f"{'items/s':>12} {'latency':>12}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['machine']:>14} {r['width']:>5} {r['procs']:>3} "
+            f"{r['makespan']:>12.6g} {r['throughput']:>12.6g} {r['latency']:>12.6g}"
+        )
+    return "\n".join(lines)
+
+
 def render_overlap_table(rows: list[dict]) -> str:
     lines = [
         "blocking vs overlapped ghost exchange (virtual makespan, seconds)",
@@ -98,7 +116,7 @@ def render_overlap_table(rows: list[dict]) -> str:
 
 def run_all(json_path: str) -> int:
     """Sweep every figure at reduced scale and write the JSON artifact."""
-    report: dict = {"artifact": "BENCH_PR5", "figures": {}}
+    report: dict = {"artifact": "BENCH_PR6", "figures": {}}
     for name, (experiment, description) in FIGURES.items():
         curves = experiment(**FAST_PARAMS[name])
         entry = {
@@ -124,6 +142,15 @@ def run_all(json_path: str) -> int:
     }
     print()
     print(render_overlap_table(ablation))
+    pipeline_rows = figures.pipeline_farm(widths=(1, 2, 4), items=16, shape=(16, 16))
+    report["figures"]["fig_pipeline"] = {
+        "description": "image pipeline throughput/latency vs blur-farm width",
+        "machine": ", ".join(m.name for m in figures.OVERLAP_MACHINES),
+        "params": {"widths": [1, 2, 4], "items": 16, "shape": [16, 16]},
+        "rows": pipeline_rows,
+    }
+    print()
+    print(render_pipeline_table(pipeline_rows))
     rows = wallclock.run_ablation()
     report["wallclock"] = {
         "description": "simulator host-seconds, fast path off vs on "
@@ -164,9 +191,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[*FIGURES, "overlap", "wallclock", "parallel", "all", "list"],
+        choices=[*FIGURES, "overlap", "pipeline", "wallclock", "parallel", "all", "list"],
         help="figure to regenerate, 'overlap' for the blocking-vs-"
-        "overlapped exchange ablation, 'wallclock' for the simulator "
+        "overlapped exchange ablation, 'pipeline' for the image-pipeline "
+        "farm-width sweep, 'wallclock' for the simulator "
         "host-time ablation, 'parallel' for the serial-vs-process-"
         "parallel ablation, 'all' for the reduced-scale sweep "
         f"(writes {ARTIFACT}), or 'list' to enumerate them",
@@ -211,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, description) in FIGURES.items():
             print(f"  {name}: {description}")
         print("  overlap: blocking vs overlapped ghost-exchange ablation")
+        print("  pipeline: image-pipeline throughput/latency vs farm width")
         print("  wallclock: simulator host-time ablation (fast path off vs on)")
         print("  parallel: serial vs process-parallel host-time ablation")
         return 0
@@ -247,6 +276,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.figure == "overlap":
         rows = figures.overlap_ablation()
         print(render_overlap_table(rows))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(rows, fh, indent=2)
+            print(f"\nseries written to {args.json}")
+        return 0
+
+    if args.figure == "pipeline":
+        rows = figures.pipeline_farm()
+        print(render_pipeline_table(rows))
         if args.json:
             with open(args.json, "w") as fh:
                 json.dump(rows, fh, indent=2)

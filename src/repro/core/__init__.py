@@ -15,6 +15,12 @@ archetypes are provided, as in the paper:
 The recursive :class:`~repro.core.traditional.TraditionalDC` baseline
 (paper Figure 1) is included for the Figure 6 comparison.
 
+Beyond the paper, the library grows the same machinery into further
+archetypes (ROADMAP): :class:`~repro.core.branchbound.BranchAndBound`
+(manager/worker task farm) and
+:class:`~repro.core.pipeline.PipelineArchetype` (pipeline/farm streaming
+with explicit state-access modes and credit-window back-pressure).
+
 Every archetype program can run in ``sequential`` mode (deterministic
 run-to-block scheduling — the paper's "execute the parallel structure
 sequentially and debug with familiar tools") or ``threads`` mode; for
@@ -29,6 +35,14 @@ from repro.core.grid import DistGrid
 from repro.core.globals import GlobalVar
 from repro.core.meshspectral import MeshProgram
 from repro.core.branchbound import BnBProblem, BnBResult, BranchAndBound
+from repro.core.pipeline import (
+    FarmStage,
+    PipelineArchetype,
+    Stage,
+    StageContext,
+    StageReport,
+    StateAccess,
+)
 
 __all__ = [
     "Archetype",
@@ -43,4 +57,10 @@ __all__ = [
     "BnBProblem",
     "BnBResult",
     "BranchAndBound",
+    "PipelineArchetype",
+    "FarmStage",
+    "Stage",
+    "StageContext",
+    "StageReport",
+    "StateAccess",
 ]

@@ -1,9 +1,9 @@
 """Command-line entry point: ``python -m repro.verify``.
 
 Runs the schedule-fuzzing suite over the paper's flagship applications
-(one-deep mergesort, 2-D FFT, Jacobi Poisson) plus the intentionally
-racy positive controls, and exits nonzero when anything unexpected is
-found:
+(one-deep mergesort, 2-D FFT, Jacobi Poisson), the pipeline/farm
+conformance programs (imagepipe, knapfarm), and the intentionally racy
+positive controls, and exits nonzero when anything unexpected is found:
 
 - a *clean* application diverging under any seed (nondeterminism bug), or
 - a *racy* control **not** being detected (fuzzer regression).
@@ -66,6 +66,20 @@ def _race_free_arrival_explorer(nprocs: int = 4) -> ScheduleExplorer:
     return ScheduleExplorer.for_body(nprocs, race_free_arrival)
 
 
+def _imagepipe_explorer() -> ScheduleExplorer:
+    from repro.verify.conformance import PROGRAMS as CONFORMANCE
+
+    runner = CONFORMANCE["imagepipe"].runner
+    return ScheduleExplorer(lambda: runner(mode=None))
+
+
+def _knapfarm_explorer() -> ScheduleExplorer:
+    from repro.verify.conformance import PROGRAMS as CONFORMANCE
+
+    runner = CONFORMANCE["knapfarm"].runner
+    return ScheduleExplorer(lambda: runner(mode=None))
+
+
 #: name -> (explorer factory, races expected?)
 PROGRAMS: dict[str, tuple[Callable[[], ScheduleExplorer], bool]] = {
     "mergesort": (_mergesort_explorer, False),
@@ -74,6 +88,8 @@ PROGRAMS: dict[str, tuple[Callable[[], ScheduleExplorer], bool]] = {
     "racy-arrival": (_racy_arrival_explorer, True),
     "racy-reduction": (_racy_reduction_explorer, True),
     "race-free-arrival": (_race_free_arrival_explorer, False),
+    "imagepipe": (_imagepipe_explorer, False),
+    "knapfarm": (_knapfarm_explorer, False),
 }
 
 
@@ -112,7 +128,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.crossbackend import PROGRAMS as MATRIX_PROGRAMS
         from repro.verify.crossbackend import cross_backend_matrix
 
-        chosen = [n for n in names if n in MATRIX_PROGRAMS] or None
+        # With no explicit --program, run the full matrix — including
+        # programs registered only for the cross-backend check.
+        chosen = [n for n in names if n in MATRIX_PROGRAMS] if args.program else None
         report = cross_backend_matrix(programs=chosen)
         print(report.summary())
         print("cross-backend matrix:", "passed" if report.ok else "FAILED")

@@ -1,0 +1,90 @@
+"""Canonical conformance programs: one small run per registered archetype.
+
+Every archetype in the library promises the same execution contract —
+deterministic results, schedule-independent virtual clocks, consistent
+traces — but until this module the contract was re-checked ad hoc per
+archetype.  Here each archetype registers one small, fast, canonical
+program; the conformance suite (``tests/test_archetype_contract.py``)
+and the cross-backend digest matrix (:mod:`repro.verify.crossbackend`)
+iterate over this registry, so a new archetype buys into every contract
+check by adding one entry.
+
+Runners accept ``mode`` (an :class:`~repro.core.archetype.ExecutionMode`
+string, or ``None`` to defer to ``REPRO_BACKEND``) and ``trace``; they
+run on a modelled machine (IBM SP) so virtual clocks are non-trivial and
+clock-canonicality checks bite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.runtime.spmd import RunResult
+
+
+@dataclass(frozen=True)
+class ConformanceProgram:
+    """One archetype's canonical program for contract checking."""
+
+    #: registry key (also the cross-backend matrix name)
+    name: str
+    #: which archetype family the program exercises
+    archetype: str
+    #: runner(mode=..., trace=...) -> RunResult
+    runner: Callable[..., RunResult]
+
+
+def _run_onedeep(mode: str | None = None, trace: bool = False) -> RunResult:
+    import numpy as np
+
+    from repro.apps.sorting.mergesort import one_deep_mergesort
+    from repro.machines.catalog import IBM_SP
+
+    data = np.random.default_rng(0).integers(0, 10**6, size=512)
+    return one_deep_mergesort().run(4, data, mode=mode, machine=IBM_SP, trace=trace)
+
+
+def _run_meshspectral(mode: str | None = None, trace: bool = False) -> RunResult:
+    from repro.apps.poisson import poisson_archetype
+    from repro.machines.catalog import IBM_SP
+
+    return poisson_archetype().run(
+        4, 12, 12, tolerance=1e-3, mode=mode, machine=IBM_SP, trace=trace
+    )
+
+
+def _run_imagepipe(mode: str | None = None, trace: bool = False) -> RunResult:
+    from repro.apps.imagepipe import imagepipe_archetype, make_images
+    from repro.machines.catalog import IBM_SP
+
+    pipeline = imagepipe_archetype(blur_workers=2, window=2)
+    images = make_images(6, (8, 8), seed=3)
+    return pipeline.run(pipeline.nprocs, images, mode=mode, machine=IBM_SP, trace=trace)
+
+
+def _run_knapfarm(mode: str | None = None, trace: bool = False) -> RunResult:
+    from repro.apps.knapfarm import knapsack_farm, random_instances
+    from repro.machines.catalog import IBM_SP
+
+    pipeline = knapsack_farm(workers=2, window=2)
+    instances = random_instances(4, nitems=10, seed=7)
+    return pipeline.run(
+        pipeline.nprocs, instances, mode=mode, machine=IBM_SP, trace=trace
+    )
+
+
+#: every registered archetype's canonical program, keyed by program name
+PROGRAMS: dict[str, ConformanceProgram] = {
+    "onedeep": ConformanceProgram("onedeep", "one-deep-dc", _run_onedeep),
+    "meshspectral": ConformanceProgram(
+        "meshspectral", "mesh-spectral", _run_meshspectral
+    ),
+    "imagepipe": ConformanceProgram("imagepipe", "pipeline-farm", _run_imagepipe),
+    "knapfarm": ConformanceProgram("knapfarm", "pipeline-farm", _run_knapfarm),
+}
+
+
+def archetypes() -> tuple[str, ...]:
+    """The archetype families covered by the registry."""
+    return tuple(dict.fromkeys(p.archetype for p in PROGRAMS.values()))

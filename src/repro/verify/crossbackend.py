@@ -50,11 +50,26 @@ def _run_poisson(backend: str) -> RunResult:
     return poisson_archetype().run(4, 12, 12, tolerance=1e-3, mode=None)
 
 
-#: name -> runner(backend) for the matrix (the fuzzer's clean programs)
+def _run_imagepipe(backend: str) -> RunResult:
+    from repro.verify.conformance import PROGRAMS as CONFORMANCE
+
+    return CONFORMANCE["imagepipe"].runner(mode=None)
+
+
+def _run_knapfarm(backend: str) -> RunResult:
+    from repro.verify.conformance import PROGRAMS as CONFORMANCE
+
+    return CONFORMANCE["knapfarm"].runner(mode=None)
+
+
+#: name -> runner(backend) for the matrix (the fuzzer's clean programs
+#: plus the archetype conformance programs)
 PROGRAMS: dict[str, Callable[[str], RunResult]] = {
     "mergesort": _run_mergesort,
     "fft2d": _run_fft2d,
     "poisson": _run_poisson,
+    "imagepipe": _run_imagepipe,
+    "knapfarm": _run_knapfarm,
 }
 
 

@@ -10,6 +10,8 @@ schedule-independence.  ``--chaos-seeds=N`` sets the seed count globally;
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -52,6 +54,24 @@ def _chaos_seed(request: pytest.FixtureRequest):
     seed = getattr(request, "param", 0)
     with fuzzed_schedule(seed):
         yield seed
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005, desc="condition"):
+    """Poll *predicate* until it's true or the deadline expires.
+
+    The replacement for fixed ``time.sleep`` waits in backend tests: a
+    sleep long enough to be reliable is slow, and a fast one is flaky —
+    a deadline poll is both quick in the common case and generous under
+    CI load.  Raises ``AssertionError`` (naming *desc*) on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    if predicate():  # one last look after the deadline
+        return True
+    raise AssertionError(f"timed out after {timeout}s waiting for {desc}")
 
 
 @pytest.fixture

@@ -1,0 +1,53 @@
+"""The conformance suite: every archetype × every backend × the contract.
+
+Thin pytest parameterization over :mod:`archetype_contract`; the check
+bodies live there so they stay importable outside pytest.  A new
+archetype joins by registering a program in
+:mod:`repro.verify.conformance` — no new test code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from archetype_contract import (
+    BACKENDS,
+    CHECKS,
+    PROGRAMS,
+    check_backend_identity,
+    digest_of,
+    run_program,
+)
+from repro.verify.conformance import archetypes
+
+PROGRAM_NAMES = sorted(PROGRAMS)
+
+
+def test_registry_covers_all_archetypes():
+    """The registry must keep covering the three archetype families."""
+    assert set(archetypes()) >= {"one-deep-dc", "mesh-spectral", "pipeline-farm"}
+
+
+@pytest.mark.parametrize("check", sorted(CHECKS), ids=str)
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_contract(name, check):
+    CHECKS[check](name)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_backend_identity(name, backend):
+    if backend == "fuzzed":
+        pytest.skip("fuzzed identity covered by the 8-seed contract check")
+    check_backend_identity(name, backend)
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_digest_is_stable_across_processes(name):
+    """The digest itself must be canonical: comparing digests across OS
+    processes (the parallel backend) only means something if the digest
+    of equal values is equal.  Guard against id()/repr()-dependent
+    encodings sneaking into value_digest."""
+    a = digest_of(run_program(name))
+    b = digest_of(run_program(name))
+    assert a == b and len(a) == 64

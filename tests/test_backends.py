@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -10,6 +11,7 @@ from repro import spmd_run
 from repro.core.archetype import ExecutionMode
 from repro.errors import DeadlockError, ReproError
 from repro.runtime import backends
+from tests.conftest import wait_until
 
 
 def _rank_id(comm):
@@ -100,12 +102,20 @@ class TestThreadedWait:
         assert 0.4 <= elapsed < 5.0
 
     def test_delivery_wakes_waiter_promptly(self):
+        waiting = threading.Event()
+
         def body(comm):
             if comm.rank == 0:
-                time.sleep(0.15)
+                # hold the send until rank 1 is at (or about to enter) its
+                # blocking recv — deadline-based, not a fixed sleep
+                wait_until(waiting.is_set, desc="rank 1 reaching its recv")
                 comm.send(1, 42, tag=1)
                 return None
+            waiting.set()
             return comm.recv(source=0, tag=1)
 
+        start = time.monotonic()
         res = spmd_run(2, body, backend="threads", deadlock_timeout=30.0)
         assert res.values[1] == 42
+        # the waiter must wake on delivery, nowhere near the deadlock budget
+        assert time.monotonic() - start < 5.0

@@ -159,13 +159,13 @@ class TestBenchArtifact:
 
         from repro.bench.__main__ import FIGURE_MACHINES, FIGURES, main
 
-        out = tmp_path / "BENCH_PR5.json"
+        out = tmp_path / "BENCH_PR6.json"
         assert main(["all", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
-        assert data["artifact"] == "BENCH_PR5"
-        assert set(data["figures"]) == set(FIGURES) | {"fig_overlap"}
+        assert data["artifact"] == "BENCH_PR6"
+        assert set(data["figures"]) == set(FIGURES) | {"fig_overlap", "fig_pipeline"}
         for name, entry in data["figures"].items():
-            if name == "fig_overlap":
+            if name in ("fig_overlap", "fig_pipeline"):
                 continue
             assert entry["machine"] == FIGURE_MACHINES[name]
             assert entry["description"]
@@ -186,6 +186,19 @@ class TestBenchArtifact:
         for machine in machines:
             for row in (r for r in rows if r["machine"] == machine):
                 assert row["overlapped"] < row["blocking"], row
+        # The pipeline farm-width sweep: both machines, a throughput win
+        # from widening the farm past one worker, flat-ish latency.
+        prows = data["figures"]["fig_pipeline"]["rows"]
+        pmachines = {r["machine"] for r in prows}
+        assert len(pmachines) >= 2
+        for machine in pmachines:
+            series = [r for r in prows if r["machine"] == machine]
+            widths = [r["width"] for r in series]
+            assert widths == sorted(widths) and widths[0] == 1
+            best = max(r["throughput"] for r in series)
+            assert best > series[0]["throughput"], series
+            for row in series:
+                assert row["latency"] > 0.0 and row["makespan"] > 0.0
         # Both host-time ablations ride along, digest-identical rows only.
         assert {r["app"] for r in data["wallclock"]["rows"]} == {
             "poisson",
@@ -199,4 +212,4 @@ class TestBenchArtifact:
     def test_default_artifact_name(self):
         from repro.bench.__main__ import ARTIFACT
 
-        assert ARTIFACT == "BENCH_PR5.json"
+        assert ARTIFACT == "BENCH_PR6.json"

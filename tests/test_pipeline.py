@@ -1,0 +1,251 @@
+"""Pipeline/farm archetype: wiring, back-pressure, collection, EOS.
+
+The contract battery (digests, clocks, cross-backend identity) lives in
+``test_archetype_contract.py``; this file covers the archetype's own
+semantics — stage geometry, credit windows bounding mailbox depth,
+ordered vs. unordered collection, and end-of-stream through farms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.imagepipe import imagepipe_archetype, make_images, sequential_reference
+from repro.apps.knapfarm import best_value, knapsack_farm, random_instances
+from repro.apps.knapsack import dp_reference
+from repro.core.pipeline import (
+    FarmStage,
+    PipelineArchetype,
+    Stage,
+    StateAccess,
+)
+from repro.errors import ArchetypeError
+from repro.machines.catalog import IBM_SP
+from repro.obs.metrics import scoped_registry
+
+
+def _inc(ctx, x, state):
+    return x + 1
+
+
+def _double(ctx, x, state):
+    return x * 2
+
+
+def _tally(ctx, x, state):
+    return x, state + x
+
+
+def _tally_stage(**kwargs):
+    return Stage(
+        "tally",
+        _tally,
+        state_access=StateAccess.ACCUMULATOR,
+        init_state=lambda w: 0,
+        combine=lambda a, b: a + b,
+        **kwargs,
+    )
+
+
+class TestWiring:
+    def test_rank_layout(self):
+        p = PipelineArchetype([Stage("a", _inc), FarmStage("b", _inc, workers=3)])
+        # emitter + 1 + 3 workers + collector
+        assert p.nprocs == 6
+        assert p._role(0) == ("emit", -1, 0)
+        assert p._role(1) == ("work", 0, 0)
+        assert p._role(2) == ("work", 1, 0)
+        assert p._role(4) == ("work", 1, 2)
+        assert p._role(5) == ("collect", 2, 0)
+
+    def test_wrong_nprocs_rejected(self):
+        p = PipelineArchetype([Stage("a", _inc)])
+        with pytest.raises(ArchetypeError, match="exactly 3 ranks"):
+            p.run(4, [1, 2, 3])
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(ArchetypeError, match="at least one stage"):
+            PipelineArchetype([])
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ArchetypeError, match="unique"):
+            PipelineArchetype([Stage("a", _inc), Stage("a", _double)])
+
+    def test_serial_stage_cannot_be_farmed(self):
+        with pytest.raises(ArchetypeError, match="serial state cannot be farmed"):
+            PipelineArchetype(
+                [FarmStage("s", _tally, state_access=StateAccess.SERIAL, workers=2)]
+            )
+
+    def test_accumulator_requires_combine(self):
+        with pytest.raises(ArchetypeError, match="requires a combine"):
+            PipelineArchetype(
+                [Stage("t", _tally, state_access=StateAccess.ACCUMULATOR)]
+            )
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ArchetypeError, match="window"):
+            PipelineArchetype([Stage("a", _inc)], window=0)
+        with pytest.raises(ArchetypeError, match="window"):
+            PipelineArchetype([Stage("a", _inc, window=0)])
+
+    def test_stage_results_and_reports(self):
+        p = PipelineArchetype([FarmStage("double", _double, workers=3), _tally_stage()])
+        items = list(range(10))
+        res = p.run(p.nprocs, items)
+        assert p.output(res) == [x * 2 for x in items]
+        reports = p.reports(res)
+        # round-robin ownership: worker k%3 gets items k, k+3, ...
+        assert [r.processed for r in reports["double"]] == [4, 3, 3]
+        assert sum(r.processed for r in reports["tally"]) == 10
+        assert p.accumulated_state(res, "tally") == sum(x * 2 for x in items)
+
+    def test_accumulated_state_lookup_errors(self):
+        p = PipelineArchetype([Stage("a", _inc), _tally_stage()])
+        res = p.run(p.nprocs, [1, 2])
+        with pytest.raises(ArchetypeError, match="no stage named"):
+            p.accumulated_state(res, "missing")
+        with pytest.raises(ArchetypeError, match="not accumulator"):
+            p.accumulated_state(res, "a")
+
+
+class TestBackPressure:
+    """Credit windows bound mailbox depth; no window lets it grow with N."""
+
+    N = 32
+
+    def _max_depth(self, window: int) -> float:
+        p = PipelineArchetype([Stage("work", _inc, work_cost=1000.0)], window=window)
+        with scoped_registry() as reg:
+            p.run(p.nprocs, list(range(self.N)), machine=IBM_SP)
+            depth = reg.get("runtime.mailbox.depth")
+            assert depth is not None and depth.count > 0
+            return depth.snapshot()["max"]
+
+    def test_window_bounds_depth(self):
+        # a rank's mailbox holds at most `window` data messages plus
+        # `window` returning credits (the +1 is the delivery being observed)
+        for window in (1, 2, 4):
+            assert self._max_depth(window) <= 2 * window + 1
+
+    def test_unbounded_window_fills_queue(self):
+        assert self._max_depth(self.N + 8) >= self.N
+
+    def test_credit_waits_counted(self):
+        p = PipelineArchetype([Stage("work", _inc, work_cost=1000.0)], window=2)
+        with scoped_registry() as reg:
+            p.run(p.nprocs, list(range(16)), machine=IBM_SP)
+            assert reg.get("core.pipeline.credit_waits").value > 0
+
+
+class TestCollection:
+    def test_ordered_preserves_stream_order(self):
+        p = PipelineArchetype([FarmStage("double", _double, workers=3)], window=2)
+        items = list(range(17))
+        assert p.output(p.run(p.nprocs, items)) == [x * 2 for x in items]
+
+    def test_unordered_preserves_multiset(self):
+        p = PipelineArchetype(
+            [FarmStage("double", _double, workers=3)], window=2, ordered=False
+        )
+        items = list(range(17))
+        out = p.output(p.run(p.nprocs, items))
+        assert sorted(out) == [x * 2 for x in items]
+
+    @pytest.mark.chaos(seeds=8)
+    def test_unordered_multiset_schedule_independent(self):
+        p = PipelineArchetype(
+            [FarmStage("double", _double, workers=2)], window=2, ordered=False
+        )
+        out = p.output(p.run(p.nprocs, list(range(9))))
+        assert sorted(out) == [x * 2 for x in range(9)]
+
+    def test_per_stage_window_override(self):
+        p = PipelineArchetype(
+            [Stage("a", _inc, window=1), Stage("b", _inc)], window=3
+        )
+        assert p._window_of(0) == 1
+        assert p._window_of(1) == 3
+        assert p._window_of(2) == 3  # collector link uses the default
+        res = p.run(p.nprocs, list(range(8)))
+        assert p.output(res) == [x + 2 for x in range(8)]
+
+
+class TestEndOfStream:
+    def test_empty_stream(self):
+        p = PipelineArchetype([FarmStage("double", _double, workers=3), _tally_stage()])
+        res = p.run(p.nprocs, [])
+        assert p.output(res) == []
+        assert p.accumulated_state(res, "tally") == 0
+        assert all(r.processed == 0 for rs in p.reports(res).values() for r in rs)
+
+    def test_fewer_items_than_workers(self):
+        p = PipelineArchetype([FarmStage("double", _double, workers=4)])
+        res = p.run(p.nprocs, [10, 20])
+        assert p.output(res) == [20, 40]
+        assert [r.processed for r in p.reports(res)["double"]] == [1, 1, 0, 0]
+
+    def test_eos_through_consecutive_farms(self):
+        p = PipelineArchetype(
+            [
+                FarmStage("double", _double, workers=3),
+                FarmStage("inc", _inc, workers=2),
+            ],
+            window=1,
+        )
+        items = list(range(11))
+        res = p.run(p.nprocs, items)
+        assert p.output(res) == [x * 2 + 1 for x in items]
+
+    def test_empty_stream_unordered(self):
+        p = PipelineArchetype(
+            [FarmStage("double", _double, workers=3)], ordered=False
+        )
+        assert p.output(p.run(p.nprocs, [])) == []
+
+
+class TestApps:
+    def test_imagepipe_matches_sequential_reference(self):
+        images = make_images(5, (8, 8), seed=11)
+        p = imagepipe_archetype(blur_workers=2, window=2)
+        res = p.run(p.nprocs, images, machine=IBM_SP)
+        ref_out, ref_stats = sequential_reference(images)
+        for got, want in zip(p.output(res), ref_out):
+            assert np.array_equal(got, want)
+        assert p.accumulated_state(res, "stats") == ref_stats
+
+    def test_knapfarm_matches_dp_reference(self):
+        instances = random_instances(4, nitems=10, seed=7)
+        p = knapsack_farm(workers=2, window=2)
+        res = p.run(p.nprocs, instances, machine=IBM_SP)
+        refs = [dp_reference(inst) for inst in instances]
+        got = [-r.value for r in p.output(res)]
+        assert got == pytest.approx(refs, abs=1e-9)
+        assert best_value(p, res) == pytest.approx(max(refs), abs=1e-9)
+
+    @pytest.mark.chaos(seeds=8)
+    def test_imagepipe_schedule_independent(self):
+        images = make_images(4, (8, 8), seed=5)
+        p = imagepipe_archetype(blur_workers=2, window=2)
+        res = p.run(p.nprocs, images, machine=IBM_SP)
+        ref_out, ref_stats = sequential_reference(images)
+        for got, want in zip(p.output(res), ref_out):
+            assert np.array_equal(got, want)
+        assert p.accumulated_state(res, "stats") == ref_stats
+
+
+class TestBackends:
+    def test_values_and_clocks_identical(self, backend):
+        p = PipelineArchetype(
+            [FarmStage("double", _double, workers=2), _tally_stage()], window=2
+        )
+        items = list(range(12))
+        det = p.run(p.nprocs, items, machine=IBM_SP)
+        other = p.run(p.nprocs, items, machine=IBM_SP, mode=backend_mode(backend))
+        assert p.output(other) == p.output(det)
+        assert other.times == det.times
+
+
+def backend_mode(backend: str) -> str:
+    return {"deterministic": "sequential"}.get(backend, backend)

@@ -1,0 +1,157 @@
+"""Property tests for the pipeline state-access modes.
+
+In ``test_runtime_properties.py`` style: hypothesis drives the geometry
+(stream length, farm width, credit window) and seeded schedule fuzzing
+drives the interleavings, checking the declared state disciplines —
+accumulator results are schedule-independent, serial stages never
+interleave items (trace happens-before), partitioned workers only ever
+see their own partition.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import FarmStage, PipelineArchetype, Stage, StateAccess
+from repro.machines.catalog import IBM_SP
+from repro.verify import fuzzed_schedule
+from repro.verify.digest import value_digest
+
+
+def _weigh(ctx, x, state):
+    # a non-commutative-looking fold kept associative/commutative by
+    # using addition over floats derived deterministically from x
+    return x, (state[0] + 1, state[1] + float(x) * 1.5)
+
+
+def _acc_pipeline(width: int, window: int) -> PipelineArchetype:
+    return PipelineArchetype(
+        [
+            FarmStage(
+                "weigh",
+                _weigh,
+                workers=width,
+                state_access=StateAccess.ACCUMULATOR,
+                init_state=lambda w: (0, 0.0),
+                combine=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+                work_cost=25.0,
+            )
+        ],
+        window=window,
+    )
+
+
+class TestAccumulator:
+    def test_identical_under_20_fuzzed_schedules(self):
+        p = _acc_pipeline(width=3, window=2)
+        items = list(range(17))
+        reference = p.run(p.nprocs, items, machine=IBM_SP)
+        ref_digest = value_digest([reference.times, reference.values])
+        ref_state = p.accumulated_state(reference, "weigh")
+        for seed in range(20):
+            with fuzzed_schedule(seed):
+                res = p.run(p.nprocs, items, machine=IBM_SP)
+            assert p.accumulated_state(res, "weigh") == ref_state, f"seed {seed}"
+            assert value_digest([res.times, res.values]) == ref_digest, f"seed {seed}"
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=24),
+        width=st.integers(min_value=1, max_value=4),
+        window=st.integers(min_value=1, max_value=5),
+    )
+    def test_fold_is_width_and_window_independent(self, n, width, window):
+        items = list(range(n))
+        expected = (n, sum(float(x) * 1.5 for x in items))
+        p = _acc_pipeline(width, window)
+        res = p.run(p.nprocs, items)
+        assert p.accumulated_state(res, "weigh") == expected
+
+
+def _serial_tag(ctx, x, state):
+    # charge under a per-item label so the trace records processing order
+    ctx.charge(50.0, label=f"serial[{x}]")
+    return x, state + [x]
+
+
+class TestSerial:
+    def _serial_events(self, seed=None):
+        p = PipelineArchetype(
+            [
+                FarmStage("feed", lambda ctx, x, s: x, workers=2, work_cost=30.0),
+                Stage(
+                    "ser",
+                    _serial_tag,
+                    state_access=StateAccess.SERIAL,
+                    init_state=lambda w: [],
+                ),
+            ],
+            window=2,
+        )
+        items = list(range(13))
+        if seed is None:
+            res = p.run(p.nprocs, items, machine=IBM_SP, trace=True)
+        else:
+            with fuzzed_schedule(seed):
+                res = p.run(p.nprocs, items, machine=IBM_SP, trace=True)
+        serial_rank = 3  # emitter, feed×2, then the serial stage
+        assert p._role(serial_rank) == ("work", 1, 0)
+        events = [
+            ev
+            for ev in res.tracer.events_for(serial_rank)
+            if getattr(ev, "label", "").startswith("serial[")
+        ]
+        return p, res, events
+
+    def test_items_processed_in_stream_order(self):
+        p, res, events = self._serial_events()
+        ks = [int(ev.label[len("serial["):-1]) for ev in events]
+        assert ks == list(range(13))
+        state = p.reports(res)["ser"][0].state
+        assert state == list(range(13))
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_never_interleaves_under_fuzzing(self, seed):
+        """Happens-before: item k+1's compute starts at or after item k's
+        compute ends, on every schedule — the serial discipline."""
+        p, res, events = self._serial_events(seed)
+        ks = [int(ev.label[len("serial["):-1]) for ev in events]
+        assert ks == sorted(ks), "serial stage processed items out of order"
+        for prev, nxt in zip(events, events[1:]):
+            assert nxt.start >= prev.end, (
+                f"serial items overlap: {prev.label} [{prev.start}, {prev.end}) "
+                f"vs {nxt.label} [{nxt.start}, {nxt.end})"
+            )
+        assert p.reports(res)["ser"][0].state == list(range(13))
+
+
+def _collect_partition(ctx, x, state):
+    return x, state + [x]
+
+
+class TestPartitioned:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=20),
+        width=st.integers(min_value=1, max_value=4),
+    )
+    def test_workers_only_see_their_partition(self, n, width):
+        """Round-robin ownership *is* the partitioning: worker w's state
+        accumulates exactly the items congruent to w mod width."""
+        p = PipelineArchetype(
+            [
+                FarmStage(
+                    "part",
+                    _collect_partition,
+                    workers=width,
+                    state_access=StateAccess.PARTITIONED,
+                    init_state=lambda w: [],
+                )
+            ],
+            window=3,
+        )
+        res = p.run(p.nprocs, list(range(n)))
+        for report in p.reports(res)["part"]:
+            assert report.state == list(range(report.worker, n, width))
