@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs-smoke chaos bench bench-wallclock bench-parallel \
-	bench-pipeline coverage lint
+	bench-pipeline serve-smoke coverage lint
 
 # Default gate: lint (when ruff is available), tier-1 tests, and the
 # observability smoke check.
@@ -46,6 +46,14 @@ bench:
 # modelled machines (virtual time only — fast everywhere).
 bench-pipeline:
 	$(PYTHON) -m repro.bench pipeline
+
+# Job-server smoke: start a server on an ephemeral port with a
+# throwaway cache, submit the same job twice (the second must be a
+# cache hit with an identical digest and no new worker dispatch), then
+# a third whose sampled re-execution must verify the cache bitwise,
+# and shut down cleanly.
+serve-smoke:
+	$(PYTHON) -m repro.serve smoke
 
 # Wall-clock fast-path smoke: one sample per mode, digest identity
 # checked, and a deliberately generous regression floor (typical

@@ -1,0 +1,253 @@
+"""Named application workloads: one registry from app names to runs.
+
+Before this module each CLI kept its own ad-hoc app table — the obs CLI
+(:mod:`repro.obs.workloads`), the wallclock/parallel bench ablations
+(:mod:`repro.bench.wallclock`), the cross-backend digest matrix
+(:mod:`repro.verify.crossbackend`), and the conformance registry
+(:mod:`repro.verify.conformance`) all re-spelled "how do I run mergesort
+on 4 ranks" with slightly different inputs.  The job server
+(:mod:`repro.serve`) needs the same resolution over a wire protocol, so
+the lookup becomes one shared source of truth: an :class:`AppSpec` per
+application, resolvable by string, with JSON-able parameters (every knob
+is a scalar with a default) so a request like ``{"app": "poisson",
+"params": {"nx": 64}}`` fully determines a run.
+
+Determinism contract: an app's runner derives *all* of its input from
+the parameter dict (data seeds included), so two runs with equal
+``(app, params, machine, backend, seed)`` produce bitwise-identical
+digests — the property the serve result cache keys on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.machines.catalog import IDEAL, get_machine
+from repro.machines.model import MachineModel
+from repro.runtime.spmd import RunResult
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One named workload: how to run an application from plain parameters."""
+
+    #: registry key (the name requests and CLIs resolve)
+    name: str
+    #: archetype family the app exercises (diagnostics / grouping)
+    archetype: str
+    description: str
+    #: ``runner(params, machine=..., mode=..., trace=...) -> RunResult``;
+    #: *params* is :attr:`defaults` overlaid with the caller's overrides
+    runner: Callable[..., RunResult]
+    #: every knob the app accepts, with its default value (JSON-able
+    #: scalars only, so specs serialise over the serve wire protocol)
+    defaults: Mapping[str, Any]
+    #: reduced sizes for verification runs (conformance programs and the
+    #: cross-backend digest matrix) — overrides applied onto defaults
+    verify_overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def params_with(self, overrides: Mapping[str, Any] | None = None) -> dict:
+        """Defaults overlaid with *overrides*; unknown keys are an error."""
+        merged = dict(self.defaults)
+        if overrides:
+            unknown = sorted(set(overrides) - set(self.defaults))
+            if unknown:
+                raise ReproError(
+                    f"app {self.name!r} has no parameter(s) {unknown}; "
+                    f"knows {sorted(self.defaults)}"
+                )
+            merged.update(overrides)
+        return merged
+
+    def run(
+        self,
+        params: Mapping[str, Any] | None = None,
+        *,
+        machine: MachineModel | str = IDEAL,
+        mode: str | None = None,
+        trace: bool = False,
+    ) -> RunResult:
+        """Run the app with *params* overriding the registered defaults."""
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        return self.runner(
+            self.params_with(params), machine=machine, mode=mode, trace=trace
+        )
+
+
+_REGISTRY: dict[str, AppSpec] = {}
+
+
+def register(spec: AppSpec) -> AppSpec:
+    """Add *spec* to the registry (idempotent for an identical re-register)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ReproError(f"app {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (tests use this to retract throwaway apps)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> AppSpec:
+    """The :class:`AppSpec` registered under *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown app {name!r}; choose from {names()}"
+        ) from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered app names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def specs() -> tuple[AppSpec, ...]:
+    return tuple(_REGISTRY.values())
+
+
+# ---------------------------------------------------------------------------
+# Registered workloads.  Runners derive every input from the params dict
+# (reproducible data seeds), so equal params mean equal digests.
+
+
+def _run_mergesort(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.sorting.mergesort import one_deep_mergesort
+
+    rng = np.random.default_rng(params["seed"])
+    data = rng.integers(0, np.iinfo(np.int64).max, size=params["n"])
+    return one_deep_mergesort().run(
+        params["nprocs"], data, mode=mode, machine=machine, trace=trace
+    )
+
+
+def _run_poisson(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.poisson import poisson_archetype
+
+    return poisson_archetype().run(
+        params["nprocs"],
+        params["nx"],
+        params["ny"],
+        tolerance=params["tolerance"],
+        max_iters=params["max_iters"],
+        gather_solution=params["gather_solution"],
+        mode=mode,
+        machine=machine,
+        trace=trace,
+    )
+
+
+def _run_fft2d(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.fft2d import fft2d_archetype
+
+    rng = np.random.default_rng(params["seed"])
+    array = rng.standard_normal((params["rows"], params["cols"]))
+    return fft2d_archetype().run(
+        params["nprocs"], array, params["repeats"], mode=mode, machine=machine, trace=trace
+    )
+
+
+def _run_imagepipe(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.imagepipe import imagepipe_archetype, make_images
+
+    pipeline = imagepipe_archetype(
+        blur_workers=params["width"], window=params["window"]
+    )
+    images = make_images(
+        params["items"], (params["rows"], params["cols"]), seed=params["seed"]
+    )
+    return pipeline.run(
+        pipeline.nprocs, images, mode=mode, machine=machine, trace=trace
+    )
+
+
+def _run_knapfarm(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.knapfarm import knapsack_farm, random_instances
+
+    pipeline = knapsack_farm(workers=params["workers"], window=params["window"])
+    instances = random_instances(
+        params["instances"], nitems=params["nitems"], seed=params["seed"]
+    )
+    return pipeline.run(
+        pipeline.nprocs, instances, mode=mode, machine=machine, trace=trace
+    )
+
+
+register(
+    AppSpec(
+        name="mergesort",
+        archetype="one-deep-dc",
+        description="one-deep mergesort (divide and conquer)",
+        runner=_run_mergesort,
+        defaults={"nprocs": 4, "n": 4096, "seed": 0},
+        verify_overrides={"n": 512},
+    )
+)
+register(
+    AppSpec(
+        name="poisson",
+        archetype="mesh-spectral",
+        description="Jacobi Poisson solver (mesh; ghost exchanges per sweep)",
+        runner=_run_poisson,
+        defaults={
+            "nprocs": 4,
+            "nx": 48,
+            "ny": 48,
+            "tolerance": 0.0,
+            "max_iters": 8,
+            "gather_solution": False,
+        },
+        verify_overrides={"nx": 12, "ny": 12, "tolerance": 1e-3, "max_iters": 10_000},
+    )
+)
+register(
+    AppSpec(
+        name="fft2d",
+        archetype="mesh-spectral",
+        description="distributed 2-D FFT (spectral; all-to-all transposes)",
+        runner=_run_fft2d,
+        defaults={"nprocs": 4, "rows": 64, "cols": 64, "repeats": 2, "seed": 0},
+        verify_overrides={"rows": 16, "cols": 16, "repeats": 1},
+    )
+)
+register(
+    AppSpec(
+        name="imagepipe",
+        archetype="pipeline-farm",
+        description="image pipeline with a farmed blur stage",
+        runner=_run_imagepipe,
+        defaults={
+            "width": 2,
+            "window": 2,
+            "items": 6,
+            "rows": 8,
+            "cols": 8,
+            "seed": 3,
+        },
+    )
+)
+register(
+    AppSpec(
+        name="knapfarm",
+        archetype="pipeline-farm",
+        description="knapsack-instance stream through a branch-and-bound farm",
+        runner=_run_knapfarm,
+        defaults={
+            "workers": 2,
+            "window": 2,
+            "instances": 4,
+            "nitems": 10,
+            "seed": 7,
+        },
+    )
+)

@@ -233,6 +233,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="P",
         help="parallel only: rank count for the ablation",
     )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        choices=sorted(wallclock.WORKLOADS),
+        default=None,
+        metavar="APP",
+        help="wallclock/parallel: restrict the ablation to these "
+        "registry workloads (default: all of them)",
+    )
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -242,13 +251,16 @@ def main(argv: list[str] | None = None) -> int:
         print("  pipeline: image-pipeline throughput/latency vs farm width")
         print("  wallclock: simulator host-time ablation (fast path off vs on)")
         print("  parallel: serial vs process-parallel host-time ablation")
+        print("ablation workloads (from the shared app registry):")
+        for name, (_, description) in sorted(wallclock.WORKLOADS.items()):
+            print(f"  {name}: {description}")
         return 0
 
     if args.figure == "all":
         return run_all(args.json or ARTIFACT)
 
     if args.figure == "wallclock":
-        rows = wallclock.run_ablation(repeats=args.repeats)
+        rows = wallclock.run_ablation(apps=args.apps, repeats=args.repeats)
         print(wallclock.render_table(rows))
         problems = wallclock.check_rows(rows, min_speedup=args.min_speedup)
         for p in problems:
@@ -260,7 +272,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if problems else 0
 
     if args.figure == "parallel":
-        rows = parallel_bench.run_ablation(nprocs=args.nprocs, repeats=args.repeats)
+        rows = parallel_bench.run_ablation(
+            apps=args.apps, nprocs=args.nprocs, repeats=args.repeats
+        )
         print(parallel_bench.render_table(rows))
         problems = parallel_bench.check_rows(
             rows, min_speedup=args.min_speedup, min_cpus=args.min_cpus

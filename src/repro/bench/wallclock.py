@@ -20,10 +20,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro import fastpath
-from repro.machines.catalog import get_machine
+from repro.apps import registry
 from repro.runtime.spmd import RunResult
 from repro.verify.digest import value_digest
 
@@ -33,45 +31,32 @@ DEFAULT_NPROCS = 16
 DEFAULT_REPEATS = 3
 
 
-def _run_poisson(nprocs: int, scale: int = 1) -> RunResult:
-    from repro.apps.poisson import poisson_archetype
+# Workloads resolve through the shared app registry; only the ablation's
+# scaling knob and machine pairing are local decisions.
 
-    return poisson_archetype().run(
-        nprocs,
-        48,
-        48,
-        tolerance=0.0,
-        max_iters=8 * scale,
-        gather_solution=False,
-        machine=get_machine("ibm-sp"),
-        trace=False,
+
+def _run_poisson(nprocs: int, scale: int = 1) -> RunResult:
+    return registry.get("poisson").run(
+        {"nprocs": nprocs, "max_iters": 8 * scale}, machine="ibm-sp"
     )
 
 
 def _run_fft2d(nprocs: int, scale: int = 1) -> RunResult:
-    from repro.apps.fft2d import fft2d_archetype
-
-    rng = np.random.default_rng(0)
-    array = rng.standard_normal((64, 64))
-    return fft2d_archetype().run(
-        nprocs, array, 2 * scale, machine=get_machine("ibm-sp"), trace=False
+    return registry.get("fft2d").run(
+        {"nprocs": nprocs, "repeats": 2 * scale}, machine="ibm-sp"
     )
 
 
 def _run_mergesort(nprocs: int, scale: int = 1) -> RunResult:
-    from repro.apps.sorting.mergesort import one_deep_mergesort
-
-    rng = np.random.default_rng(0)
-    data = rng.integers(0, np.iinfo(np.int64).max, size=4096 * scale)
-    return one_deep_mergesort().run(
-        nprocs, data, machine=get_machine("intel-delta"), trace=False
+    return registry.get("mergesort").run(
+        {"nprocs": nprocs, "n": 4096 * scale}, machine="intel-delta"
     )
 
 
 WORKLOADS = {
-    "poisson": (_run_poisson, "Jacobi Poisson (mesh; ghost exchanges per sweep)"),
-    "fft2d": (_run_fft2d, "2-D FFT (spectral; all-to-all transposes)"),
-    "mergesort": (_run_mergesort, "one-deep mergesort (divide and conquer)"),
+    "poisson": (_run_poisson, registry.get("poisson").description),
+    "fft2d": (_run_fft2d, registry.get("fft2d").description),
+    "mergesort": (_run_mergesort, registry.get("mergesort").description),
 }
 
 

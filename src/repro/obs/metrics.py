@@ -228,10 +228,15 @@ class MetricsRegistry:
         """Fold another registry's :meth:`snapshot` into this one.
 
         This is how per-process metrics from the parallel backend's
-        workers reach the parent: counters and gauges add their values,
-        histograms add per-bucket counts and recombine sum/count/min/max.
-        Instruments missing here are created (histogram bounds recovered
-        from the snapshot's bucket keys); kind or bucket mismatches raise
+        workers — and the job server's per-job snapshots — reach the
+        parent: counters add their values; gauges take the snapshot's
+        value (*last-write-wins*: a gauge is an instantaneous reading,
+        and the most recently merged snapshot is the most recent
+        observation — summing queue depths or utilisations across
+        snapshots would fabricate a reading nobody took); histograms add
+        per-bucket counts and recombine sum/count/min/max.  Instruments
+        missing here are created (histogram bounds recovered from the
+        snapshot's bucket keys); kind or bucket mismatches raise
         :class:`MetricsError` rather than silently mixing streams.
         """
         for name, data in snapshot.items():
@@ -239,7 +244,7 @@ class MetricsRegistry:
             if kind == "counter":
                 self.counter(name).inc(data["value"])
             elif kind == "gauge":
-                self.gauge(name).inc(data["value"])
+                self.gauge(name).set(data["value"])
             elif kind == "histogram":
                 bucket_counts = data["buckets"]
                 bounds = tuple(float(b) for b in bucket_counts if b != "+inf")

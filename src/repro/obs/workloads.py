@@ -8,14 +8,17 @@ so ``--compare-model`` can put measured and modelled times side by side.
 Problem sizes are deliberately small — these runs exist to produce
 traces worth looking at (and for the ``make obs-smoke`` gate), not to
 benchmark.  Use ``python -m repro.bench`` for the paper's figures.
+
+Applications resolve through the shared app registry
+(:mod:`repro.apps.registry`); this module only adds the analytic
+prediction each workload is compared against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.apps import registry
 from repro.bench.predict import predict_fft2d, predict_onedeep_sort, predict_poisson
 from repro.machines.model import MachineModel
 from repro.runtime.spmd import RunResult
@@ -41,15 +44,8 @@ def run_poisson(
     nprocs: int, machine: MachineModel, nx: int = 48, ny: int = 48, iters: int = 8
 ) -> WorkloadRun:
     """Jacobi Poisson (mesh archetype) for a fixed iteration count."""
-    from repro.apps.poisson import poisson_archetype
-
-    result = poisson_archetype().run(
-        nprocs,
-        nx,
-        ny,
-        tolerance=0.0,
-        max_iters=iters,
-        gather_solution=False,
+    result = registry.get("poisson").run(
+        {"nprocs": nprocs, "nx": nx, "ny": ny, "max_iters": iters},
         machine=machine,
         trace=True,
     )
@@ -66,11 +62,9 @@ def run_mergesort(
     nprocs: int, machine: MachineModel, n: int = 4096, seed: int = 0
 ) -> WorkloadRun:
     """One-deep mergesort (divide-and-conquer archetype)."""
-    from repro.apps.sorting.mergesort import one_deep_mergesort
-
-    rng = np.random.default_rng(seed)
-    data = rng.integers(0, np.iinfo(np.int64).max, size=n)
-    result = one_deep_mergesort().run(nprocs, data, machine=machine, trace=True)
+    result = registry.get("mergesort").run(
+        {"nprocs": nprocs, "n": n, "seed": seed}, machine=machine, trace=True
+    )
     return WorkloadRun(
         app="mergesort",
         description=f"one-deep mergesort of {n} keys",
@@ -89,11 +83,11 @@ def run_fft2d(
     seed: int = 0,
 ) -> WorkloadRun:
     """Distributed 2-D FFT (spectral archetype)."""
-    from repro.apps.fft2d import fft2d_archetype
-
-    rng = np.random.default_rng(seed)
-    array = rng.standard_normal((rows, cols))
-    result = fft2d_archetype().run(nprocs, array, repeats, machine=machine, trace=True)
+    result = registry.get("fft2d").run(
+        {"nprocs": nprocs, "rows": rows, "cols": cols, "repeats": repeats, "seed": seed},
+        machine=machine,
+        trace=True,
+    )
     return WorkloadRun(
         app="fft2d",
         description=f"2-D FFT {rows}x{cols}, {repeats} repeat(s)",

@@ -2,8 +2,9 @@
 
 Every entry point that lets a caller pick a backend — :func:`repro.runtime.
 spmd.spmd_run`, :meth:`Archetype.run <repro.core.archetype.Archetype.run>`,
-``python -m repro.bench`` and ``python -m repro.verify`` — resolves the
-name here instead of wiring constructors ad hoc.  The registry also owns
+``python -m repro.bench``, ``python -m repro.verify``, and the job
+server's wire protocol (:mod:`repro.serve`) — resolves the name here
+instead of wiring constructors ad hoc.  The registry also owns
 the ``REPRO_BACKEND`` environment default: passing ``backend=None`` (or
 ``mode=None``) to a runner means "whatever ``REPRO_BACKEND`` says, else
 deterministic", which is how a whole bench sweep or test run is switched
@@ -46,6 +47,13 @@ class BackendSpec:
     factory: Callable | None = None
     #: alternative names accepted by :func:`resolve`
     aliases: tuple[str, ...] = field(default=())
+    #: the :class:`~repro.core.archetype.ExecutionMode` string that drives
+    #: this backend through ``Archetype.run(mode=...)``.  The fuzzed
+    #: backend shares ``"sequential"`` with the deterministic one — it is
+    #: the same run-to-block engine, selected by wrapping the run in
+    #: :func:`repro.verify.fuzzed_schedule` (or via ``REPRO_BACKEND``);
+    #: the job server's executor relies on exactly that combination.
+    mode: str = "sequential"
 
 
 def _make_deterministic(nprocs: int, **options) -> "object":
@@ -113,6 +121,7 @@ register(
         in_process=True,
         factory=_make_threads,
         aliases=("threaded",),
+        mode="threads",
     )
 )
 register(
@@ -122,6 +131,7 @@ register(
         "transport (real multi-core execution)",
         in_process=False,
         aliases=("processes",),
+        mode="parallel",
     )
 )
 

@@ -1,0 +1,29 @@
+"""``repro.serve``: archetype-as-a-service.
+
+The runtime below this package is invoke-per-run: every execution pays
+process start-up and recomputes results that are provably identical to
+previous runs.  This package turns it into a long-running service — the
+FastFlow move of a persistent runtime fronting parallel skeletons:
+
+- :mod:`repro.serve.protocol` — the JSON request schema and the
+  content-addressed cache key (the verify digest discipline applied to
+  requests: runs are deterministic, so equal canonical requests imply
+  equal result digests);
+- :mod:`repro.serve.cache` — the on-disk result cache keyed by request
+  digest, storing result record, outputs, metrics, and Chrome trace;
+- :mod:`repro.serve.executor` — one job's execution: resolve the app in
+  :mod:`repro.apps.registry`, run it on the requested backend, digest
+  and summarise the result;
+- :mod:`repro.serve.pool` — the persistent worker-process pool with
+  heartbeat-based dead-worker detection;
+- :mod:`repro.serve.scheduler` — the priority job queue with batched
+  admission of small jobs;
+- :mod:`repro.serve.server` — the HTTP front end tying them together;
+- ``python -m repro.serve`` — the CLI (``start``/``submit``/``status``/
+  ``result``/``shutdown``/``smoke``).
+"""
+
+from repro.serve.protocol import JobRequest, JobState
+from repro.serve.server import ServeServer
+
+__all__ = ["JobRequest", "JobState", "ServeServer"]

@@ -1,0 +1,145 @@
+"""One job's execution: run, digest, summarise, package.
+
+This is the code a pool worker runs per job (and what ``--verify-cache``
+re-runs to re-derive a cached digest).  It resolves the app through
+:mod:`repro.apps.registry`, maps the requested backend onto the runtime
+— ``fuzzed`` wraps the run in :func:`repro.runtime.spmd.fuzzed_schedule`
+with the request's seed, every other name goes through the backend
+registry's mode resolution — and reduces the :class:`RunResult` to a
+wire-friendly outcome: the verify digest (the cache key's counterpart on
+the result side), per-rank virtual clocks, a trace summary, the Chrome
+trace document, and the run's metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.apps import registry
+from repro.machines.catalog import get_machine
+from repro.obs.chrome import chrome_trace
+from repro.obs.metrics import scoped_registry
+from repro.runtime import backends
+from repro.runtime.spmd import RunResult, fuzzed_schedule
+from repro.serve.protocol import JobRequest
+from repro.trace.analysis import summarize
+from repro.verify.digest import value_digest
+
+
+@dataclass
+class JobOutcome:
+    """Everything a completed run ships back to the server."""
+
+    digest: str
+    times: list[float]
+    elapsed: float
+    #: per-rank body return values (arbitrary picklable objects)
+    values: list[Any]
+    #: plain-data trace summary (per-rank compute/comm/idle and totals)
+    summary: dict[str, Any]
+    #: validated Chrome trace-event document (``None`` when untraced)
+    trace: dict[str, Any] | None
+    #: the run's metrics snapshot (shipped per job, merged server-side)
+    metrics: dict[str, dict]
+    #: host seconds the run took inside the worker
+    host_seconds: float = 0.0
+    #: wall-clock attempt count is tracked server-side; this field lets
+    #: cache records carry it without a second schema
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def _summary_json(result: RunResult) -> dict[str, Any]:
+    if result.tracer is None:
+        return {}
+    summary = summarize(result.tracer)
+    return {
+        "ranks": [
+            {
+                "rank": rs.rank,
+                "compute_time": rs.compute_time,
+                "comm_time": rs.comm_time,
+                "idle_time": rs.idle_time,
+                "messages_sent": rs.messages_sent,
+                "messages_received": rs.messages_received,
+                "bytes_sent": rs.bytes_sent,
+                "bytes_received": rs.bytes_received,
+            }
+            for rs in summary.ranks
+        ],
+        "total_messages": summary.total_messages,
+        "total_bytes": summary.total_bytes,
+        "total_idle_time": summary.total_idle_time,
+        "comm_fraction": summary.comm_fraction(),
+    }
+
+
+def jsonable_outputs(values: list[Any], max_elements: int = 64) -> list[Any]:
+    """A JSON-safe rendering of per-rank outputs for HTTP responses.
+
+    Small ndarrays are inlined as lists; large ones are summarised by
+    dtype/shape (the full objects live in the cache's pickle, and the
+    digest is the fidelity guarantee).
+    """
+
+    def render(value: Any) -> Any:
+        if isinstance(value, np.ndarray):
+            if value.size <= max_elements:
+                return {"dtype": str(value.dtype), "shape": list(value.shape), "data": value.tolist()}
+            return {"dtype": str(value.dtype), "shape": list(value.shape), "summary": True}
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, (list, tuple)):
+            return [render(v) for v in value]
+        if isinstance(value, dict):
+            return {str(k): render(v) for k, v in value.items()}
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        return repr(value)
+
+    return [render(v) for v in values]
+
+
+def result_digest(result: RunResult) -> str:
+    """The run's verify digest: times and values, canonically encoded."""
+    return value_digest([result.times, result.values])
+
+
+def execute(request: JobRequest, trace: bool = True) -> JobOutcome:
+    """Run *request* to completion in this process and package the outcome.
+
+    The run happens under a scoped metrics registry so the snapshot
+    contains exactly this job's instrumentation — the server merges
+    per-job snapshots into its own registry.
+    """
+    spec = registry.get(request.app)
+    machine = get_machine(request.machine)
+    started = time.perf_counter()
+    with scoped_registry() as job_registry:
+        if request.backend == "fuzzed":
+            with fuzzed_schedule(request.seed):
+                result = spec.run(
+                    request.params, machine=machine, mode="sequential", trace=trace
+                )
+        else:
+            result = spec.run(
+                request.params,
+                machine=machine,
+                mode=backends.get(request.backend).mode,
+                trace=trace,
+            )
+        snapshot = job_registry.snapshot()
+    host_seconds = time.perf_counter() - started
+    return JobOutcome(
+        digest=result_digest(result),
+        times=list(result.times),
+        elapsed=result.elapsed,
+        values=list(result.values),
+        summary=_summary_json(result),
+        trace=chrome_trace(result.tracer) if result.tracer is not None else None,
+        metrics=snapshot,
+        host_seconds=host_seconds,
+    )

@@ -13,6 +13,11 @@ Runners accept ``mode`` (an :class:`~repro.core.archetype.ExecutionMode`
 string, or ``None`` to defer to ``REPRO_BACKEND``) and ``trace``; they
 run on a modelled machine (IBM SP) so virtual clocks are non-trivial and
 clock-canonicality checks bite.
+
+Program definitions live in the shared app registry
+(:mod:`repro.apps.registry`): each conformance program is one registered
+app run at its ``verify_overrides`` sizes, so the conformance suite, the
+cross-backend matrix, and the job server all resolve the *same* runs.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.apps import registry
 from repro.runtime.spmd import RunResult
 
 
@@ -35,53 +41,26 @@ class ConformanceProgram:
     runner: Callable[..., RunResult]
 
 
-def _run_onedeep(mode: str | None = None, trace: bool = False) -> RunResult:
-    import numpy as np
+def _registry_runner(app: str) -> Callable[..., RunResult]:
+    def run(mode: str | None = None, trace: bool = False) -> RunResult:
+        spec = registry.get(app)
+        return spec.run(
+            spec.verify_overrides, machine="ibm-sp", mode=mode, trace=trace
+        )
 
-    from repro.apps.sorting.mergesort import one_deep_mergesort
-    from repro.machines.catalog import IBM_SP
-
-    data = np.random.default_rng(0).integers(0, 10**6, size=512)
-    return one_deep_mergesort().run(4, data, mode=mode, machine=IBM_SP, trace=trace)
-
-
-def _run_meshspectral(mode: str | None = None, trace: bool = False) -> RunResult:
-    from repro.apps.poisson import poisson_archetype
-    from repro.machines.catalog import IBM_SP
-
-    return poisson_archetype().run(
-        4, 12, 12, tolerance=1e-3, mode=mode, machine=IBM_SP, trace=trace
-    )
+    return run
 
 
-def _run_imagepipe(mode: str | None = None, trace: bool = False) -> RunResult:
-    from repro.apps.imagepipe import imagepipe_archetype, make_images
-    from repro.machines.catalog import IBM_SP
-
-    pipeline = imagepipe_archetype(blur_workers=2, window=2)
-    images = make_images(6, (8, 8), seed=3)
-    return pipeline.run(pipeline.nprocs, images, mode=mode, machine=IBM_SP, trace=trace)
-
-
-def _run_knapfarm(mode: str | None = None, trace: bool = False) -> RunResult:
-    from repro.apps.knapfarm import knapsack_farm, random_instances
-    from repro.machines.catalog import IBM_SP
-
-    pipeline = knapsack_farm(workers=2, window=2)
-    instances = random_instances(4, nitems=10, seed=7)
-    return pipeline.run(
-        pipeline.nprocs, instances, mode=mode, machine=IBM_SP, trace=trace
-    )
+def _program(name: str, app: str) -> ConformanceProgram:
+    return ConformanceProgram(name, registry.get(app).archetype, _registry_runner(app))
 
 
 #: every registered archetype's canonical program, keyed by program name
 PROGRAMS: dict[str, ConformanceProgram] = {
-    "onedeep": ConformanceProgram("onedeep", "one-deep-dc", _run_onedeep),
-    "meshspectral": ConformanceProgram(
-        "meshspectral", "mesh-spectral", _run_meshspectral
-    ),
-    "imagepipe": ConformanceProgram("imagepipe", "pipeline-farm", _run_imagepipe),
-    "knapfarm": ConformanceProgram("knapfarm", "pipeline-farm", _run_knapfarm),
+    "onedeep": _program("onedeep", "mergesort"),
+    "meshspectral": _program("meshspectral", "poisson"),
+    "imagepipe": _program("imagepipe", "imagepipe"),
+    "knapfarm": _program("knapfarm", "knapfarm"),
 }
 
 

@@ -25,51 +25,26 @@ from repro.verify.digest import value_digest
 DEFAULT_BACKENDS = ("deterministic", "threads", "parallel")
 
 
-def _run_mergesort(backend: str) -> RunResult:
-    import numpy as np
+def _registry_runner(app: str) -> Callable[[str], RunResult]:
+    """A matrix runner from the shared app registry: the app at its
+    verification sizes, with ``mode=None`` so the ``REPRO_BACKEND``
+    default set by :func:`cross_backend_matrix` selects the engine."""
 
-    from repro.apps.sorting.mergesort import one_deep_mergesort
+    def run(backend: str) -> RunResult:
+        from repro.apps import registry
 
-    data = np.random.default_rng(0).integers(0, 10**6, size=2048)
-    return one_deep_mergesort().run(4, data, mode=None)
+        spec = registry.get(app)
+        return spec.run(spec.verify_overrides, machine="ibm-sp", mode=None)
 
-
-def _run_fft2d(backend: str) -> RunResult:
-    import numpy as np
-
-    from repro.apps.fft2d import fft2d_archetype
-
-    rng = np.random.default_rng(1)
-    arr = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
-    return fft2d_archetype().run(4, arr, 1, mode=None)
+    return run
 
 
-def _run_poisson(backend: str) -> RunResult:
-    from repro.apps.poisson import poisson_archetype
-
-    return poisson_archetype().run(4, 12, 12, tolerance=1e-3, mode=None)
-
-
-def _run_imagepipe(backend: str) -> RunResult:
-    from repro.verify.conformance import PROGRAMS as CONFORMANCE
-
-    return CONFORMANCE["imagepipe"].runner(mode=None)
-
-
-def _run_knapfarm(backend: str) -> RunResult:
-    from repro.verify.conformance import PROGRAMS as CONFORMANCE
-
-    return CONFORMANCE["knapfarm"].runner(mode=None)
-
-
-#: name -> runner(backend) for the matrix (the fuzzer's clean programs
-#: plus the archetype conformance programs)
+#: name -> runner(backend) for the matrix: the shared app registry's
+#: workloads at verification scale (one source of truth with the
+#: conformance suite and the job server)
 PROGRAMS: dict[str, Callable[[str], RunResult]] = {
-    "mergesort": _run_mergesort,
-    "fft2d": _run_fft2d,
-    "poisson": _run_poisson,
-    "imagepipe": _run_imagepipe,
-    "knapfarm": _run_knapfarm,
+    name: _registry_runner(name)
+    for name in ("mergesort", "fft2d", "poisson", "imagepipe", "knapfarm")
 }
 
 

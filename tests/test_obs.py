@@ -137,6 +137,74 @@ class TestRegistry:
             set_registry(previous)
 
 
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(2)
+        other = MetricsRegistry()
+        other.counter("jobs").inc(3)
+        reg.merge_snapshot(other.snapshot())
+        assert reg.counter("jobs").value == 5
+
+    def test_gauges_take_last_write(self):
+        # A gauge is an instantaneous reading: merging must adopt the
+        # snapshot's value, not sum it with the local one.
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(7)
+        other = MetricsRegistry()
+        other.gauge("depth").set(2)
+        reg.merge_snapshot(other.snapshot())
+        assert reg.gauge("depth").value == 2
+
+    def test_histograms_merge_overlapping_buckets(self):
+        bounds = (1.0, 10.0, 100.0)
+        reg = MetricsRegistry()
+        local = reg.histogram("lat", buckets=bounds)
+        for v in (0.5, 5.0):
+            local.observe(v)
+        other = MetricsRegistry()
+        remote = other.histogram("lat", buckets=bounds)
+        for v in (5.0, 50.0, 500.0):
+            remote.observe(v)
+        reg.merge_snapshot(other.snapshot())
+        merged = reg.histogram("lat", buckets=bounds)
+        # Per-bucket counts add where the streams overlap (the 5.0s
+        # share the <=10 bucket) and min/max/sum/count recombine.
+        assert merged.bucket_counts == [1, 2, 1, 1]
+        assert merged.count == 5
+        assert merged.sum == pytest.approx(560.5)
+        snap = merged.snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500.0
+
+    def test_merge_creates_missing_instruments(self):
+        other = MetricsRegistry()
+        other.counter("c").inc(1)
+        other.gauge("g").set(4)
+        other.histogram("h", buckets=(1.0,)).observe(2.0)
+        reg = MetricsRegistry()
+        reg.merge_snapshot(other.snapshot())
+        assert reg.counter("c").value == 1
+        assert reg.gauge("g").value == 4
+        assert reg.histogram("h", buckets=(1.0,)).count == 1
+
+    def test_merge_rejects_bucket_mismatch(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        other = MetricsRegistry()
+        other.histogram("h", buckets=(5.0,)).observe(1.0)
+        with pytest.raises(MetricsError):
+            reg.merge_snapshot(other.snapshot())
+
+    def test_merge_rejects_kind_mismatch(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        other = MetricsRegistry()
+        other.gauge("x").set(1)
+        with pytest.raises(MetricsError):
+            reg.merge_snapshot(other.snapshot())
+
+
 class TestRuntimeInstrumentation:
     def test_scheduler_and_mailbox_counters_populated(self):
         def body(comm):
