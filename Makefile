@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs-smoke chaos bench bench-wallclock bench-parallel \
-	bench-pipeline serve-smoke coverage lint
+	bench-pipeline bench-kernels serve-smoke coverage lint
 
 # Default gate: lint (when ruff is available), tier-1 tests, and the
 # observability smoke check.
@@ -38,7 +38,7 @@ chaos:
 
 # Reduced-scale sweep over every figure plus the blocking-vs-overlapped
 # exchange ablation and the pipeline farm-width sweep; writes
-# BENCH_PR6.json.
+# BENCH_PR8.json.
 bench:
 	$(PYTHON) -m repro.bench all
 
@@ -68,6 +68,14 @@ bench-wallclock:
 # host has >= 4 usable cores — below that there is nothing to win.
 bench-parallel:
 	$(PYTHON) -m repro.bench parallel --repeats 1 --min-speedup 1.1 --min-cpus 4
+
+# Kernel-fusion smoke: fused vs unfused par-loop execution, digest
+# identity checked on every row.  The floor is deliberately generous
+# (0.2x trips only if fusion catastrophically regresses or the A/B
+# harness breaks) because host timing on shared CI runners is noisy;
+# the committed BENCH_PR8.json records the measured win.
+bench-kernels:
+	$(PYTHON) -m repro.bench kernels --repeats 1 --min-speedup 0.2
 
 # Coverage with a soft floor: the report is informational (exit 0) so a
 # dip reads as a warning in CI rather than a red build; the floor keeps

@@ -244,6 +244,7 @@ def cfd_program(
             mesh.overlapped_update(
                 state,
                 lf_update,
+                writes=new_state,
                 periodic=wrap,
                 fill_edges=None if wrap else "copy",
                 flops_per_point=FLOPS_PER_CELL,

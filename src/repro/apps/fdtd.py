@@ -122,10 +122,10 @@ def fdtd_program(
         # update (overlapped over the deep cells when enabled); then the
         # mirrored half-step for H -> E.
         mesh.overlapped_update(
-            e, h_update, flops_per_point=FLOPS_PER_CELL / 2, label="h-update"
+            e, h_update, writes=h, flops_per_point=FLOPS_PER_CELL / 2, label="h-update"
         )
         mesh.overlapped_update(
-            h, e_update, flops_per_point=FLOPS_PER_CELL / 2, label="e-update"
+            h, e_update, writes=e, flops_per_point=FLOPS_PER_CELL / 2, label="e-update"
         )
 
         # Soft source on the rank owning the centre cell.

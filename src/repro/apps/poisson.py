@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.meshspectral import MeshContext, MeshProgram
 from repro.comm.reductions import MAX
+from repro.kernels import READ, WRITE, Arg, ExprKernel, Ref
 from repro.machines.model import MachineModel
 
 #: flops charged per interior point per Jacobi sweep (update + residual)
@@ -85,23 +86,54 @@ def poisson_program(
     diffmax = mesh.global_var(tolerance + 1.0)
     iterations = 0
 
-    def jacobi(out: np.ndarray, u, fv) -> None:
-        out[...] = 0.25 * (
-            u[-1, 0] + u[1, 0] + u[0, -1] + u[0, 1] - h2 * fv[0, 0]
-        )
+    # The Jacobi sweep as a declared expression kernel: u is read at the
+    # four axis neighbours (halo 1), f only at the centre (halo 0) — so
+    # the kernel layer exchanges u's ghosts each iteration but knows f
+    # needs no refresh at all, unlike the historical per-op path which
+    # re-exchanged the never-written source term every sweep.
+    jacobi = ExprKernel(
+        "0.25 * (un + us + uw + ue - h2 * f)",
+        {
+            "un": Ref(1, (-1, 0)),
+            "us": Ref(1, (1, 0)),
+            "uw": Ref(1, (0, -1)),
+            "ue": Ref(1, (0, 1)),
+            "f": Ref(2),
+            "h2": h2,
+        },
+        name="jacobi",
+    )
 
+    def copy_new_to_old(old: np.ndarray, new: np.ndarray) -> None:
+        old[...] = new
+
+    region = uk.interior_intersection(1)
     while diffmax.value > tolerance and iterations < max_iters:
-        # Grid operation with neighbour reads: the archetype inserts the
-        # boundary exchange and updates only global-interior points.
-        mesh.stencil_op(jacobi, ukp, uk, fgrid, margin=1, flops_per_point=FLOPS_PER_POINT)
+        # Grid operation with declared neighbour reads: the kernel layer
+        # inserts the boundary exchange and updates only global-interior
+        # points.
+        mesh.parloop(
+            jacobi,
+            Arg(ukp, WRITE),
+            Arg(uk, READ, halo=1),
+            Arg(fgrid, READ),
+            margin=1,
+            flops_per_point=FLOPS_PER_POINT,
+            label="jacobi",
+        )
         # Convergence check: a max-reduction whose result every rank holds.
-        region = uk.interior_intersection(1)
         mesh.charge(2.0 * ukp.interior[region].size, label="diffmax")
         diffmax.set_from_reduction(
             _local_interior_diff(ukp, uk), MAX
         )
-        mesh.charge(2.0 * uk.interior.size, label="copy-new-to-old")
-        uk.interior[region] = ukp.interior[region]
+        mesh.parloop(
+            copy_new_to_old,
+            Arg(uk, WRITE),
+            Arg(ukp, READ),
+            margin=1,
+            flops_per_point=2.0,
+            label="copy-new-to-old",
+        )
         iterations += 1
 
     solution = uk.gather(root=0) if gather_solution else None

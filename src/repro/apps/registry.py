@@ -147,6 +147,41 @@ def _run_poisson(params: dict, *, machine, mode, trace) -> RunResult:
     )
 
 
+def _run_smog(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.smog import smog_archetype
+
+    return smog_archetype().run(
+        params["nprocs"],
+        params["nx"],
+        params["ny"],
+        params["steps"],
+        dt=params["dt"],
+        diffusion=params["diffusion"],
+        chem_substeps=params["chem_substeps"],
+        gather=params["gather"],
+        mode=mode,
+        machine=machine,
+        trace=trace,
+    )
+
+
+def _run_spectralflow(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.spectralflow import spectralflow_archetype
+
+    return spectralflow_archetype().run(
+        params["nprocs"],
+        params["nr"],
+        params["nz"],
+        steps=params["steps"],
+        dt=params["dt"],
+        nu=params["nu"],
+        gather=params["gather"],
+        mode=mode,
+        machine=machine,
+        trace=trace,
+    )
+
+
 def _run_fft2d(params: dict, *, machine, mode, trace) -> RunResult:
     from repro.apps.fft2d import fft2d_archetype
 
@@ -208,6 +243,43 @@ register(
             "gather_solution": False,
         },
         verify_overrides={"nx": 12, "ny": 12, "tolerance": 1e-3, "max_iters": 10_000},
+    )
+)
+register(
+    AppSpec(
+        name="smog",
+        archetype="mesh-spectral",
+        description="airshed photochemical smog model (fused transport/chemistry)",
+        runner=_run_smog,
+        defaults={
+            "nprocs": 4,
+            "nx": 24,
+            "ny": 24,
+            "steps": 6,
+            "dt": 2e-3,
+            "diffusion": 5e-3,
+            "chem_substeps": 4,
+            "gather": False,
+        },
+        verify_overrides={"nx": 12, "ny": 12, "steps": 3},
+    )
+)
+register(
+    AppSpec(
+        name="spectralflow",
+        archetype="mesh-spectral",
+        description="axisymmetric spectral flow (FFT + tridiagonal solves + hoisted stencils)",
+        runner=_run_spectralflow,
+        defaults={
+            "nprocs": 4,
+            "nr": 32,
+            "nz": 32,
+            "steps": 4,
+            "dt": 1e-3,
+            "nu": 1e-3,
+            "gather": False,
+        },
+        verify_overrides={"nr": 16, "nz": 16, "steps": 2},
     )
 )
 register(

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.meshspectral import MeshContext, MeshProgram
 from repro.comm.reductions import MAX, SUM
+from repro.kernels import INC, READ, RW, WRITE, Arg, Kernel, RegionKernel, StencilView
 from repro.machines.model import MachineModel
 
 #: flops charged per cell per transport step per species
@@ -117,49 +118,78 @@ def smog_program(
     species["o3"].interior[...] = 0.05
 
     peak_ozone = mesh.global_var(0.0)
+
+    def copy_field(dst: np.ndarray, src: np.ndarray) -> None:
+        dst[...] = src
+
+    def emissions_body(region: tuple[slice, ...]) -> None:
+        species["no"].interior[region] += dt * emis[region]
+
     t = 0.0
     for _ in range(steps):
         u, v = sea_breeze_wind(ii, jj, nx, ny, t)
-
-        # --- transport: upwind advection + diffusion, per species ------
-        for name, grid in species.items():
-            grid.exchange(periodic=False)
-            grid.fill_edge_ghosts(mode="copy")  # open basin boundary
-            mesh.stencil_op(
-                _transport_update(u, v, dx, dy, dt, diffusion),
-                new[name],
-                grid,
-                margin=0,
-                exchange=False,
-                flops_per_point=TRANSPORT_FLOPS,
-                label=f"transport:{name}",
-            )
-        for name in species:
-            species[name].interior[...] = new[name].interior
-
-        # --- emissions ---------------------------------------------------
-        species["no"].interior[...] += dt * emis
-        mesh.charge(2.0 * emis.size, label="emissions")
-
-        # --- chemistry: pointwise NOx cycle, sub-stepped -----------------
         j_rate = photolysis_rate(t)
         h = dt / chem_substeps if chem_substeps else 0.0
-        no = species["no"].interior
-        no2 = species["no2"].interior
-        o3 = species["o3"].interior
-        mesh.charge(
-            CHEMISTRY_FLOPS * no.size * chem_substeps, label="chemistry"
-        )
-        for _ in range(chem_substeps):
-            r1 = j_rate * no2  # NO2 photolysis
-            r2 = K_NO_O3 * no * o3  # titration
-            no += h * (r1 - r2)
-            no2 += h * (r2 - r1)
-            o3 += h * (r1 - r2)
-            np.clip(no, 0.0, None, out=no)
-            np.clip(no2, 0.0, None, out=no2)
-            np.clip(o3, 0.0, None, out=o3)
 
+        def chemistry(no, no2, o3) -> None:
+            for _ in range(chem_substeps):
+                r1 = j_rate * no2  # NO2 photolysis  # noqa: B023
+                r2 = K_NO_O3 * no * o3  # titration
+                no += h * (r1 - r2)  # noqa: B023
+                no2 += h * (r2 - r1)  # noqa: B023
+                o3 += h * (r1 - r2)  # noqa: B023
+                np.clip(no, 0.0, None, out=no)
+                np.clip(no2, 0.0, None, out=no2)
+                np.clip(o3, 0.0, None, out=o3)
+
+        # One declared step: the kernel layer packs the three species
+        # ghost refreshes into one message per neighbour per direction,
+        # fuses the three transports into one tiled walk, and fuses the
+        # copy-back/emissions/chemistry chain (all pointwise over the
+        # same region) so each row block stays cache-resident across the
+        # whole chain.
+        with mesh.fuse():
+            # --- transport: upwind advection + diffusion, per species --
+            for name, grid in species.items():
+                mesh.parloop(
+                    RegionKernel(
+                        _transport_update(grid, new[name], u, v, dx, dy, dt, diffusion),
+                        name=f"transport:{name}",
+                    ),
+                    Arg(new[name], WRITE),
+                    # open basin boundary: edge ghosts copy the rim value
+                    Arg(grid, READ, halo=1, edges="copy"),
+                    margin=0,
+                    flops_per_point=TRANSPORT_FLOPS,
+                    label=f"transport:{name}",
+                )
+            for name in species:
+                mesh.parloop(
+                    copy_field,
+                    Arg(species[name], WRITE),
+                    Arg(new[name], READ),
+                    label=f"copy:{name}",
+                )
+
+            # --- emissions -------------------------------------------
+            mesh.parloop(
+                RegionKernel(emissions_body, name="emissions"),
+                Arg(species["no"], INC),
+                flops_per_point=2.0,
+                label="emissions",
+            )
+
+            # --- chemistry: pointwise NOx cycle, sub-stepped ----------
+            mesh.parloop(
+                Kernel(chemistry, name="chemistry"),
+                Arg(species["no"], RW),
+                Arg(species["no2"], RW),
+                Arg(species["o3"], RW),
+                flops_per_point=CHEMISTRY_FLOPS * chem_substeps,
+                label="chemistry",
+            )
+
+        o3 = species["o3"].interior
         local_max = float(np.max(o3)) if o3.size else 0.0
         current = mesh.reduce(local_max, MAX)
         peak_ozone.assign(max(peak_ozone.value, current))
@@ -182,24 +212,33 @@ def smog_program(
     )
 
 
-def _transport_update(u, v, dx: float, dy: float, dt: float, kdiff: float):
-    """Upwind advection in wind (u, v) plus central diffusion."""
+def _transport_update(
+    qgrid, ogrid, u, v, dx: float, dy: float, dt: float, kdiff: float
+):
+    """Upwind advection in wind (u, v) plus central diffusion.
 
-    def update(out: np.ndarray, q) -> None:
+    A region kernel (rather than a views kernel) because the wind
+    arrays are plain full-interior fields the body must slice to the
+    region itself."""
+
+    def update(region: tuple[slice, ...]) -> None:
+        q = StencilView(qgrid, region)
+        uu = u[region]
+        vv = v[region]
         adv_x = np.where(
-            u > 0,
-            u * (q[0, 0] - q[-1, 0]) / dx,
-            u * (q[1, 0] - q[0, 0]) / dx,
+            uu > 0,
+            uu * (q[0, 0] - q[-1, 0]) / dx,
+            uu * (q[1, 0] - q[0, 0]) / dx,
         )
         adv_y = np.where(
-            v > 0,
-            v * (q[0, 0] - q[0, -1]) / dy,
-            v * (q[0, 1] - q[0, 0]) / dy,
+            vv > 0,
+            vv * (q[0, 0] - q[0, -1]) / dy,
+            vv * (q[0, 1] - q[0, 0]) / dy,
         )
         lap = (q[1, 0] - 2 * q[0, 0] + q[-1, 0]) / dx**2 + (
             q[0, 1] - 2 * q[0, 0] + q[0, -1]
         ) / dy**2
-        out[...] = q[0, 0] - dt * (adv_x + adv_y) + dt * kdiff * lap
+        ogrid.interior[region] = q[0, 0] - dt * (adv_x + adv_y) + dt * kdiff * lap
 
     return update
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.meshspectral import MeshContext, MeshProgram
 from repro.comm.reductions import MAX
 from repro.apps.fftlib import fft, fft_cost, fft_frequencies
+from repro.kernels import READ, WRITE, Arg
 from repro.machines.model import MachineModel
 
 #: flops charged per point per step for the finite-difference part
@@ -175,28 +176,30 @@ def spectralflow_program(
         psi = mesh.grid((nr, nz), dist="rows", ghost=1)
         psi.interior[...] = psi_hat.interior.real
 
-        # --- velocities from psi (stencil grid op) ---------------------
+        # --- velocities from psi (declared stencil par-loops) ----------
+        # Both loops read psi at halo 1; the kernel layer exchanges
+        # psi's ghosts once for the first loop and *hoists* the second
+        # exchange automatically (the historical code hand-managed this
+        # with an ``exchange=False`` flag).
         ur = mesh.grid((nr, nz), dist="rows", ghost=1)  # radial velocity
         uz = mesh.grid((nr, nz), dist="rows", ghost=1)  # axial velocity
-        mesh.stencil_op(
-            lambda out, p: out.__setitem__(..., (p[0, 1] - p[0, -1]) / (2 * dz)),
-            ur,
-            psi,
-            margin=0,
-            periodic=(False, True),
-            flops_per_point=3.0,
-            label="ur",
-        )
-        mesh.stencil_op(
-            lambda out, p: out.__setitem__(..., -(p[1, 0] - p[-1, 0]) / (2 * dr)),
-            uz,
-            psi,
-            margin=(1, 0),
-            periodic=(False, True),
-            exchange=False,
-            flops_per_point=3.0,
-            label="uz",
-        )
+        with mesh.fuse():
+            mesh.parloop(
+                lambda out, p: out.__setitem__(..., (p[0, 1] - p[0, -1]) / (2 * dz)),
+                Arg(ur, WRITE),
+                Arg(psi, READ, halo=1, periodic=(False, True)),
+                margin=0,
+                flops_per_point=3.0,
+                label="ur",
+            )
+            mesh.parloop(
+                lambda out, p: out.__setitem__(..., -(p[1, 0] - p[-1, 0]) / (2 * dr)),
+                Arg(uz, WRITE),
+                Arg(psi, READ, halo=1, periodic=(False, True)),
+                margin=(1, 0),
+                flops_per_point=3.0,
+                label="uz",
+            )
 
         # --- CFL-controlled time step (global reduction) ---------------
         local_speed = float(
@@ -206,23 +209,39 @@ def spectralflow_program(
         smax = mesh.reduce(local_speed, MAX)
         step_dt = dt if dt is not None else 0.4 / max(smax, 1e-12)
 
-        # --- advect omega and swirl (upwind stencil grid ops) -----------
-        # Velocities enter as extra stencil inputs so their views align
-        # with the update region automatically.
-        for field in (omega, swirl):
-            new = field.like()
-            mesh.stencil_op(
-                _upwind_update(dr, dz, step_dt, nu),
-                new,
-                field,
-                ur,
-                uz,
-                margin=(1, 0),
-                periodic=(False, True),
-                flops_per_point=FD_FLOPS_PER_POINT / 2,
-                label="advect",
-            )
-            field.interior[...] = new.interior
+        # --- advect omega and swirl (upwind stencil par-loops) ----------
+        # The two advections share a region and access pattern, so they
+        # fuse into one tiled walk, and their ghost refreshes pack into
+        # one message per neighbour per direction.  The velocities are
+        # declared halo-0 reads (the body uses only the centre value),
+        # so — unlike the historical stencil-input formulation — they
+        # need no ghost exchange at all.
+        advect = _upwind_update(dr, dz, step_dt, nu)
+        new_om = omega.like()
+        new_sw = swirl.like()
+
+        def copy_field(dst: np.ndarray, src: np.ndarray) -> None:
+            dst[...] = src
+
+        with mesh.fuse():
+            for field, new in ((omega, new_om), (swirl, new_sw)):
+                mesh.parloop(
+                    advect,
+                    Arg(new, WRITE),
+                    Arg(field, READ, halo=1, periodic=(False, True)),
+                    Arg(ur, READ),
+                    Arg(uz, READ),
+                    margin=(1, 0),
+                    flops_per_point=FD_FLOPS_PER_POINT / 2,
+                    label="advect",
+                )
+            for field, new in ((omega, new_om), (swirl, new_sw)):
+                mesh.parloop(
+                    copy_field,
+                    Arg(field, WRITE),
+                    Arg(new, READ),
+                    label="copy-advected",
+                )
         t += step_dt
 
     local_max = float(np.max(np.abs(omega.interior))) if omega.interior.size else 0.0
@@ -239,14 +258,12 @@ def spectralflow_program(
 def _upwind_update(dr: float, dz: float, dt: float, nu: float):
     """First-order upwind advection + central diffusion of one scalar.
 
-    The returned callback has the stencil-op signature
-    ``fn(out, q, u_r, u_z)`` where the velocities are stencil views whose
-    centre ``[0, 0]`` aligns with the update region.
+    The returned callback has the views-kernel signature
+    ``fn(out, q, u_r, u_z)``: *q* is a stencil view (declared halo 1),
+    the velocities plain aligned views (declared halo 0).
     """
 
-    def update(out: np.ndarray, q, u_r_sv, u_z_sv) -> None:
-        u_r = u_r_sv[0, 0]
-        u_z = u_z_sv[0, 0]
+    def update(out: np.ndarray, q, u_r: np.ndarray, u_z: np.ndarray) -> None:
         adv_r = np.where(
             u_r > 0,
             u_r * (q[0, 0] - q[-1, 0]) / dr,

@@ -8,8 +8,9 @@ Usage::
     python -m repro.bench pipeline         # farm-width throughput/latency
     python -m repro.bench wallclock        # simulator host-time ablation
     python -m repro.bench parallel         # serial vs process-parallel
+    python -m repro.bench kernels          # kernel-fusion off vs on
     python -m repro.bench all              # every figure, reduced scale,
-                                           #   writes BENCH_PR6.json
+                                           #   writes BENCH_PR8.json
     python -m repro.bench list
 
 Each figure command runs the corresponding experiment, prints the
@@ -18,13 +19,16 @@ JSON.  ``wallclock`` measures *host* seconds for the messaging-heavy
 workloads with the fast path off vs on (virtual time is identical in
 both modes — that is checked); ``parallel`` measures the same workloads
 on the deterministic backend vs one-OS-process-per-rank
-(:mod:`repro.runtime.parallel`), again digest-checked.  ``pipeline``
-sweeps the image pipeline's blur-farm width and reports virtual-time
-throughput and per-frame latency on both modelled machines.  ``all``
-sweeps every figure at a reduced problem scale, runs the
-blocking-vs-overlapped exchange ablation, the pipeline farm-width
-sweep, and both host-time ablations, and emits a machine-readable
-artifact (``BENCH_PR6.json``) so the performance trajectory can be
+(:mod:`repro.runtime.parallel`), again digest-checked.  ``kernels``
+measures host seconds with par-loop fusion forced off vs on
+(:mod:`repro.bench.kernels`) — the plan, virtual clocks, and digests
+are identical in both modes; only the group-body walk changes.
+``pipeline`` sweeps the image pipeline's blur-farm width and reports
+virtual-time throughput and per-frame latency on both modelled
+machines.  ``all`` sweeps every figure at a reduced problem scale, runs
+the blocking-vs-overlapped exchange ablation, the pipeline farm-width
+sweep, and the three host-time ablations, and emits a machine-readable
+artifact (``BENCH_PR8.json``) so the performance trajectory can be
 tracked across PRs.
 """
 
@@ -35,6 +39,7 @@ import json
 import sys
 
 from repro.bench import figures, wallclock
+from repro.bench import kernels as kernels_bench
 from repro.bench import parallel as parallel_bench
 from repro.bench.harness import SpeedupCurve
 from repro.bench.report import format_curves, render_ascii_plot
@@ -49,7 +54,7 @@ FIGURES = {
 }
 
 #: default output of ``python -m repro.bench all``
-ARTIFACT = "BENCH_PR6.json"
+ARTIFACT = "BENCH_PR8.json"
 
 #: machine model each figure runs on (matches the figure defaults)
 FIGURE_MACHINES = {
@@ -116,7 +121,7 @@ def render_overlap_table(rows: list[dict]) -> str:
 
 def run_all(json_path: str) -> int:
     """Sweep every figure at reduced scale and write the JSON artifact."""
-    report: dict = {"artifact": "BENCH_PR6", "figures": {}}
+    report: dict = {"artifact": "BENCH_PR8", "figures": {}}
     for name, (experiment, description) in FIGURES.items():
         curves = experiment(**FAST_PARAMS[name])
         entry = {
@@ -174,6 +179,17 @@ def run_all(json_path: str) -> int:
     print()
     print(parallel_bench.render_table(parallel_rows))
     problems += parallel_bench.check_rows(parallel_rows, min_speedup=None)
+    kernel_rows = kernels_bench.run_ablation()
+    report["kernels"] = {
+        "description": "simulator host-seconds, par-loop fusion off vs on "
+        "(plan and virtual time identical)",
+        "procs": kernels_bench.DEFAULT_NPROCS,
+        "repeats": kernels_bench.DEFAULT_REPEATS,
+        "rows": [r.to_json() for r in kernel_rows],
+    }
+    print()
+    print(kernels_bench.render_table(kernel_rows))
+    problems += kernels_bench.check_rows(kernel_rows, min_speedup=None)
     if problems:
         for p in problems:
             print(f"FAIL: {p}")
@@ -191,13 +207,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[*FIGURES, "overlap", "pipeline", "wallclock", "parallel", "all", "list"],
+        choices=[
+            *FIGURES,
+            "overlap",
+            "pipeline",
+            "wallclock",
+            "parallel",
+            "kernels",
+            "all",
+            "list",
+        ],
         help="figure to regenerate, 'overlap' for the blocking-vs-"
         "overlapped exchange ablation, 'pipeline' for the image-pipeline "
         "farm-width sweep, 'wallclock' for the simulator "
         "host-time ablation, 'parallel' for the serial-vs-process-"
-        "parallel ablation, 'all' for the reduced-scale sweep "
-        f"(writes {ARTIFACT}), or 'list' to enumerate them",
+        "parallel ablation, 'kernels' for the par-loop fusion ablation, "
+        f"'all' for the reduced-scale sweep (writes {ARTIFACT}), "
+        "or 'list' to enumerate them",
     )
     parser.add_argument("--json", metavar="PATH", help="also write the series as JSON")
     parser.add_argument(
@@ -229,20 +255,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--nprocs",
         type=int,
-        default=wallclock.DEFAULT_NPROCS,
+        default=None,
         metavar="P",
-        help="parallel only: rank count for the ablation",
+        help="parallel/kernels: rank count for the ablation "
+        f"(default {wallclock.DEFAULT_NPROCS} for parallel, "
+        f"{kernels_bench.DEFAULT_NPROCS} for kernels)",
     )
     parser.add_argument(
         "--apps",
         nargs="+",
-        choices=sorted(wallclock.WORKLOADS),
+        choices=sorted(set(wallclock.WORKLOADS) | set(kernels_bench.WORKLOADS)),
         default=None,
         metavar="APP",
-        help="wallclock/parallel: restrict the ablation to these "
-        "registry workloads (default: all of them)",
+        help="wallclock/parallel/kernels: restrict the ablation to these "
+        "registry workloads (default: all the command knows)",
     )
     args = parser.parse_args(argv)
+
+    def known_apps(workloads: dict) -> list[str] | None:
+        """The requested apps this command's ablation knows (the --apps
+        choices are the union across commands)."""
+        if args.apps is None:
+            return None
+        picked = [a for a in args.apps if a in workloads]
+        if not picked:
+            parser.error(
+                f"none of {args.apps} apply here; choose from {sorted(workloads)}"
+            )
+        return picked
 
     if args.figure == "list":
         for name, (_, description) in FIGURES.items():
@@ -251,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  pipeline: image-pipeline throughput/latency vs farm width")
         print("  wallclock: simulator host-time ablation (fast path off vs on)")
         print("  parallel: serial vs process-parallel host-time ablation")
+        print("  kernels: par-loop fusion host-time ablation (off vs on)")
         print("ablation workloads (from the shared app registry):")
         for name, (_, description) in sorted(wallclock.WORKLOADS.items()):
             print(f"  {name}: {description}")
@@ -260,7 +301,9 @@ def main(argv: list[str] | None = None) -> int:
         return run_all(args.json or ARTIFACT)
 
     if args.figure == "wallclock":
-        rows = wallclock.run_ablation(apps=args.apps, repeats=args.repeats)
+        rows = wallclock.run_ablation(
+            apps=known_apps(wallclock.WORKLOADS), repeats=args.repeats
+        )
         print(wallclock.render_table(rows))
         problems = wallclock.check_rows(rows, min_speedup=args.min_speedup)
         for p in problems:
@@ -273,12 +316,30 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.figure == "parallel":
         rows = parallel_bench.run_ablation(
-            apps=args.apps, nprocs=args.nprocs, repeats=args.repeats
+            apps=known_apps(parallel_bench.WORKLOADS),
+            nprocs=args.nprocs or wallclock.DEFAULT_NPROCS,
+            repeats=args.repeats,
         )
         print(parallel_bench.render_table(rows))
         problems = parallel_bench.check_rows(
             rows, min_speedup=args.min_speedup, min_cpus=args.min_cpus
         )
+        for p in problems:
+            print(f"FAIL: {p}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump([r.to_json() for r in rows], fh, indent=2)
+            print(f"\nseries written to {args.json}")
+        return 1 if problems else 0
+
+    if args.figure == "kernels":
+        rows = kernels_bench.run_ablation(
+            apps=known_apps(kernels_bench.WORKLOADS),
+            nprocs=args.nprocs or kernels_bench.DEFAULT_NPROCS,
+            repeats=args.repeats,
+        )
+        print(kernels_bench.render_table(rows))
+        problems = kernels_bench.check_rows(rows, min_speedup=args.min_speedup)
         for p in problems:
             print(f"FAIL: {p}")
         if args.json:

@@ -19,6 +19,14 @@ A mesh-spectral program is a composition of the operation classes of
 
 Programs are written against a :class:`MeshContext`; the
 :class:`MeshProgram` archetype runs them sequentially or SPMD.
+
+Since the kernel-layer refactor every grid operation is *declared* as a
+par-loop (:mod:`repro.kernels`) and executed by the context's
+:class:`~repro.kernels.runtime.KernelEngine`: ``point_op``,
+``stencil_op``, and ``overlapped_update`` keep their signatures as thin
+shims over :meth:`MeshContext.parloop`, and programs that declare
+access modes directly gain loop fusion and ghost-exchange hoisting (see
+``docs/kernel_layer.md``).
 """
 
 from __future__ import annotations
@@ -31,50 +39,38 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ArchetypeError
-from repro.comm.boundary import exchange_ghosts_many, exchange_ghosts_many_start
 from repro.comm.communicator import Comm
 from repro.comm.reductions import MAX, MIN, SUM, Op
 from repro.core.archetype import Archetype
 from repro.core.globals import GlobalVar
 from repro.core.grid import DistGrid
+from repro.kernels.ir import (
+    READ,
+    WRITE,
+    Arg,
+    Kernel,
+    ParLoop,
+    RegionKernel,
+    StencilView,
+    dat_of,
+    split_deep_shell,
+)
+from repro.kernels.runtime import KernelEngine
 from repro.obs.metrics import counter_handle, histogram_handle
+
+__all__ = [
+    "MeshContext",
+    "MeshProgram",
+    "StencilView",
+    "split_deep_shell",
+    "MESH_SUM",
+    "MESH_MAX",
+    "MESH_MIN",
+]
 
 _OP_SECONDS = histogram_handle(
     "core.mesh.op_seconds", help="per-rank virtual time inside a mesh op"
 )
-
-
-def split_deep_shell(
-    region: tuple[slice, ...], ghost: int, shape: tuple[int, ...]
-) -> tuple[tuple[slice, ...], list[tuple[slice, ...]]]:
-    """Split *region* (slices into an owned section of *shape*) for
-    compute/communication overlap.
-
-    Returns ``(deep, shells)``: *deep* is the subregion whose cells lie at
-    least *ghost* from every owned-section edge — stencil reads of radius
-    up to *ghost* from a deep cell never touch a ghost layer, so deep
-    cells can be updated while the exchange is in flight; *shells* are
-    disjoint tiles covering the rest of the region, updated after the
-    exchange completes.  Together they tile *region* exactly, so charging
-    per tile sums to the one-region charge.
-    """
-    deep = []
-    for s, n in zip(region, shape):
-        lo = min(max(s.start, ghost), s.stop)
-        hi = max(min(s.stop, n - ghost), lo)
-        deep.append(slice(lo, hi))
-    shells: list[tuple[slice, ...]] = []
-    for d, (s, ds) in enumerate(zip(region, deep)):
-        # Axes before d take the deep band, axis d one of the two shell
-        # slabs, axes after d the full region extent: every non-deep cell
-        # lands in exactly one tile (indexed by its first non-deep axis).
-        prefix = tuple(deep[:d])
-        suffix = tuple(region[d + 1 :])
-        if s.start < ds.start:
-            shells.append(prefix + (slice(s.start, ds.start),) + suffix)
-        if ds.stop < s.stop:
-            shells.append(prefix + (slice(ds.stop, s.stop),) + suffix)
-    return tuple(deep), shells
 
 
 def _instrumented(method):
@@ -95,44 +91,6 @@ def _instrumented(method):
     return wrapper
 
 
-class StencilView:
-    """Shifted-neighbour access for stencil updates.
-
-    Indexing with an offset tuple returns the input array shifted by that
-    offset, aligned with the output region: ``u[-1, 0]`` is "the value one
-    row up from each updated point".  Offsets beyond the ghost width raise.
-    """
-
-    def __init__(self, grid: DistGrid, region: tuple[slice, ...]):
-        self._arr = grid.local
-        self._ghost = grid.ghost
-        # region is expressed in interior coordinates; shift to ghosted.
-        g = grid.ghost
-        self._region = tuple(
-            slice(s.start + g, s.stop + g) for s in region
-        )
-
-    def __getitem__(self, offsets: tuple[int, ...] | int) -> np.ndarray:
-        if isinstance(offsets, int):
-            offsets = (offsets,)
-        if len(offsets) != self._arr.ndim:
-            raise ArchetypeError(
-                f"stencil offset {offsets} does not match grid rank {self._arr.ndim}"
-            )
-        if any(abs(o) > self._ghost for o in offsets):
-            raise ArchetypeError(
-                f"stencil offset {offsets} exceeds ghost width {self._ghost}"
-            )
-        return self._arr[
-            tuple(slice(s.start + o, s.stop + o) for s, o in zip(self._region, offsets))
-        ]
-
-    @property
-    def center(self) -> np.ndarray:
-        """The unshifted view (offset all-zero)."""
-        return self._arr[self._region]
-
-
 class MeshContext:
     """The operations a mesh-spectral program is written against."""
 
@@ -145,6 +103,8 @@ class MeshContext:
         #: when True, ghost exchanges run nonblocking and interior cells
         #: are updated while boundary slabs are in flight
         self.overlap = overlap
+        #: the per-rank par-loop engine (queue, fusion, exchange hoisting)
+        self.kernels = KernelEngine(self)
 
     def set_working_set(self, nbytes: float | None) -> None:
         """Declare this rank's resident working-set size.
@@ -173,6 +133,44 @@ class MeshContext:
         return GlobalVar(self.comm, value, sync=sync)
 
     # -- grid operations --------------------------------------------------------
+    def parloop(
+        self,
+        kernel: Kernel | Callable[..., None],
+        *args: Arg,
+        margin: int | tuple[int, ...] = 0,
+        flops_per_point: float = 0.0,
+        label: str | None = None,
+        overlap: bool | None = None,
+    ) -> None:
+        """Declare one par-loop (the kernel-layer front door).
+
+        *kernel* is a :class:`~repro.kernels.ir.Kernel` (or a bare
+        callable, wrapped as one) applied over the owned interior of the
+        first argument's grid intersected with *margin*; *args* bind
+        grids with access modes (``Arg(grid, READ, halo=1)``, or the
+        :class:`~repro.kernels.ir.Dat` helpers).  Outside a
+        :meth:`fuse` block the loop runs immediately; inside one, loops
+        queue so adjacent compatible loops fuse and ghost exchanges
+        dedup across them.  Exchanges for declared halo reads are
+        hoisted automatically when the dat's ghosts are still valid.
+        """
+        if not isinstance(kernel, Kernel):
+            kernel = Kernel(kernel, name=label or "parloop")
+        loop = ParLoop(
+            kernel,
+            list(args),
+            margin=margin,
+            flops_per_point=flops_per_point,
+            label=label,
+            overlap=self.overlap if overlap is None else overlap,
+        )
+        self.kernels.submit(loop)
+
+    def fuse(self):
+        """Context manager batching the par-loops declared inside into
+        one planner flush: ``with mesh.fuse(): ...``."""
+        return self.kernels.fuse()
+
     @_instrumented
     def point_op(
         self,
@@ -187,13 +185,19 @@ class MeshContext:
         All views are aligned owned-interior views; *fn* must write its
         result into ``out_view`` (e.g. ``out_view[...] = a + b``).  No
         neighbour data is read, so no exchange happens and ``out`` may
-        alias an input.
+        alias an input.  (Shim: declares a pointwise par-loop.)
         """
         self._check_compatible(out, ins)
-        views = [g.interior for g in ins]
-        if flops_per_point:
-            self.comm.charge(flops_per_point * out.interior.size, label=label, working_set_bytes=self.working_set)
-        fn(out.interior, *views)
+        args = [Arg(dat_of(out), WRITE)] + [Arg(dat_of(g), READ) for g in ins]
+        self.kernels.submit(
+            ParLoop(
+                Kernel(fn, name=label),
+                args,
+                margin=0,
+                flops_per_point=flops_per_point,
+                label=label,
+            )
+        )
 
     @_instrumented
     def stencil_op(
@@ -225,6 +229,9 @@ class MeshContext:
         stencils (the update is the same elementwise expression applied
         region by region); corner ghosts are stale in overlap mode, so
         box stencils reading diagonal offsets must pass ``overlap=False``.
+        (Shim: declares a par-loop whose inputs read at the full ghost
+        width; blocking mode requests corner-correct serialised
+        exchanges, matching the historical semantics exactly.)
         """
         self._check_compatible(out, ins)
         for g in ins:
@@ -238,39 +245,33 @@ class MeshContext:
                     f"stencil input grid has ghost width {g.ghost}; need >= 1"
                 )
         use_overlap = (self.overlap if overlap is None else overlap) and exchange
-        region = out.interior_intersection(margin)
-        if not use_overlap:
-            if exchange:
-                for g in ins:
-                    g.exchange(periodic=periodic)
-            self._stencil_apply(fn, out, ins, region, flops_per_point, label)
-            return
-        handles = [g.exchange_start(periodic=periodic) for g in ins]
-        deep, shells = split_deep_shell(
-            region, max(g.ghost for g in ins), out.interior.shape
+        args = [Arg(dat_of(out), WRITE)]
+        for g in ins:
+            args.append(
+                Arg(
+                    dat_of(g),
+                    READ,
+                    halo=g.ghost,
+                    periodic=periodic,
+                    exchange=exchange,
+                    # the old API declares no writes, so ghost validity
+                    # cannot be tracked across calls: always refresh
+                    fresh=True,
+                    # blocking mode historically serialised axes per
+                    # grid, leaving corner ghosts correct (box stencils)
+                    corners=not use_overlap,
+                )
+            )
+        self.kernels.submit(
+            ParLoop(
+                Kernel(fn, name=label),
+                args,
+                margin=margin,
+                flops_per_point=flops_per_point,
+                label=label,
+                overlap=use_overlap,
+            )
         )
-        self._stencil_apply(fn, out, ins, deep, flops_per_point, label)
-        for handle in handles:
-            handle.wait()
-        for tile in shells:
-            self._stencil_apply(fn, out, ins, tile, flops_per_point, label)
-
-    def _stencil_apply(
-        self,
-        fn: Callable[..., None],
-        out: DistGrid,
-        ins: tuple[DistGrid, ...],
-        region: tuple[slice, ...],
-        flops_per_point: float,
-        label: str,
-    ) -> None:
-        out_view = out.interior[region]
-        if out_view.size == 0:
-            return
-        stencils = [StencilView(g, region) for g in ins]
-        if flops_per_point:
-            self.comm.charge(flops_per_point * out_view.size, label=label, working_set_bytes=self.working_set)
-        fn(out_view, *stencils)
 
     @_instrumented
     def overlapped_update(
@@ -282,6 +283,7 @@ class MeshContext:
         flops_per_point: float = 0.0,
         overlap: bool | None = None,
         label: str = "overlapped_update",
+        writes: list[DistGrid] | None = None,
     ) -> None:
         """Packed ghost refresh of *ins* followed by a regionised update.
 
@@ -300,6 +302,12 @@ class MeshContext:
         packed exchange, fills edges, updates the deep cells while slabs
         travel, completes the exchange, and updates the shell tiles.
         Corner/edge ghosts are stale in overlap mode (star stencils only).
+
+        *writes* declares the grids *apply* writes (its access set).  A
+        declared write set lets the kernel layer keep ghost-validity
+        tracking sound across the call; without it, the engine must
+        conservatively invalidate every grid's halo (any grid could have
+        been written), and the loop fuses with nothing.
         """
         if not ins:
             raise ArchetypeError("overlapped_update needs at least one grid")
@@ -315,47 +323,30 @@ class MeshContext:
         if ghost < 1:
             raise ArchetypeError("overlapped_update needs ghost width >= 1")
         use_overlap = self.overlap if overlap is None else overlap
-        region = tuple(slice(0, n) for n in first.interior.shape)
-        locals_ = [g.local for g in ins]
-        if not use_overlap:
-            exchange_ghosts_many(self.comm, locals_, first.cart, ghost, periodic)
-            if fill_edges is not None:
-                for g in ins:
-                    g.fill_edge_ghosts(fill_edges)
-            self._apply_region(apply, region, flops_per_point, label)
-            return
-        handle = exchange_ghosts_many_start(
-            self.comm, locals_, first.cart, ghost, periodic
-        )
-        if fill_edges is not None:
-            # Physical-edge ghosts have no neighbour, so filling them does
-            # not race the in-flight slabs (which target interior-facing
-            # faces; their overlap is confined to unread corner cells).
-            for g in ins:
-                g.fill_edge_ghosts(fill_edges)
-        deep, shells = split_deep_shell(region, ghost, first.interior.shape)
-        self._apply_region(apply, deep, flops_per_point, label)
-        handle.wait()
-        for tile in shells:
-            self._apply_region(apply, tile, flops_per_point, label)
-
-    def _apply_region(
-        self,
-        apply: Callable[[tuple[slice, ...]], None],
-        region: tuple[slice, ...],
-        flops_per_point: float,
-        label: str,
-    ) -> None:
-        npoints = 1
-        for s in region:
-            npoints *= max(s.stop - s.start, 0)
-        if npoints == 0:
-            return
-        if flops_per_point:
-            self.comm.charge(
-                flops_per_point * npoints, label=label, working_set_bytes=self.working_set
+        args = [
+            Arg(
+                dat_of(g),
+                READ,
+                halo=g.ghost,
+                periodic=periodic,
+                edges=fill_edges,
+                fresh=True,
             )
-        apply(region)
+            for g in ins
+        ]
+        if writes is not None:
+            args.extend(Arg(dat_of(g), WRITE) for g in writes)
+        self.kernels.submit(
+            ParLoop(
+                RegionKernel(apply, name=label),
+                args,
+                margin=0,
+                flops_per_point=flops_per_point,
+                label=label,
+                overlap=use_overlap,
+                writes_undeclared=writes is None,
+            )
+        )
 
     # -- row / column operations ---------------------------------------------------
     def _require_whole_axis(self, grid: DistGrid, axis: int, what: str) -> None:
@@ -382,7 +373,9 @@ class MeshContext:
         mutates it in place (returning ``None``) or returns a same-shape
         replacement.
         """
+        self.kernels.flush()
         self._require_whole_axis(grid, 1, "a row operation")
+        self.kernels.note_write(grid)
         block = grid.interior
         if flops_per_row:
             self.comm.charge(flops_per_row * block.shape[0], label=label, working_set_bytes=self.working_set)
@@ -404,7 +397,9 @@ class MeshContext:
         transposed to ``(ncols_local, nrows)`` so each *row* of its input
         is one column vector, matching ``row_op``'s calling convention.
         """
+        self.kernels.flush()
         self._require_whole_axis(grid, 0, "a column operation")
+        self.kernels.note_write(grid)
         block = grid.interior
         if flops_per_col:
             self.comm.charge(flops_per_col * block.shape[1], label=label, working_set_bytes=self.working_set)
@@ -436,7 +431,9 @@ class MeshContext:
         """
         if not 0 <= axis < grid.ndim:
             raise ArchetypeError(f"axis {axis} out of range for {grid.ndim}-D grid")
+        self.kernels.flush()
         self._require_whole_axis(grid, axis, f"an axis-{axis} operation")
+        self.kernels.note_write(grid)
         block = grid.interior
         nvectors = block.size // max(block.shape[axis], 1)
         if flops_per_vector:
@@ -455,12 +452,14 @@ class MeshContext:
     @_instrumented
     def redistribute(self, grid: DistGrid, dist: str | tuple[int, ...]) -> DistGrid:
         """Move a grid to a different distribution (paper Figure 7)."""
+        self.kernels.flush()
         return grid.redistributed(dist)
 
     # -- reductions -------------------------------------------------------------
     def reduce(self, local: Any, op: Op) -> Any:
         """Combine per-rank values; postcondition (paper §3.2): every rank
         holds the identical result."""
+        self.kernels.flush()
         return self.comm.allreduce(local, op)
 
     @_instrumented
@@ -479,6 +478,7 @@ class MeshContext:
         ``identity`` is used for ranks owning zero points (possible when
         P exceeds an axis extent).
         """
+        self.kernels.flush()
         section = grid.interior
         if flops_per_point:
             self.comm.charge(flops_per_point * section.size, label=label, working_set_bytes=self.working_set)
@@ -492,6 +492,7 @@ class MeshContext:
     @_instrumented
     def max_abs_diff(self, a: DistGrid, b: DistGrid) -> float:
         """Convergence helper: global max |a - b| over owned interiors."""
+        self.kernels.flush()
         self._check_compatible(a, (b,))
         sec_a, sec_b = a.interior, b.interior
         self.comm.charge(2.0 * sec_a.size, label="max_abs_diff", working_set_bytes=self.working_set)
@@ -501,6 +502,7 @@ class MeshContext:
     # -- file input/output ----------------------------------------------------------
     def write_grid(self, grid: DistGrid, path: str | Path) -> None:
         """Sequential file output: gather to rank 0, write one .npy file."""
+        self.kernels.flush()
         full = grid.gather(root=0)
         if self.comm.rank == 0:
             np.save(Path(path), full)
@@ -513,6 +515,7 @@ class MeshContext:
         ghost: int = 0,
     ) -> DistGrid:
         """Sequential file input: rank 0 reads one .npy file, scatters it."""
+        self.kernels.flush()
         full = np.load(Path(path)) if self.comm.rank == 0 else None
         return DistGrid.from_global(self.comm, full, dist=dist, ghost=ghost)
 
@@ -523,6 +526,7 @@ class MeshContext:
         No data redistribution is needed; actual disk concurrency is the
         host filesystem's business, exactly as the paper notes.
         """
+        self.kernels.flush()
         directory = Path(directory)
         if self.comm.rank == 0:
             directory.mkdir(parents=True, exist_ok=True)
@@ -552,6 +556,7 @@ class MeshContext:
         any process count and distribution can read any partitioned
         grid, because the manifest records each file's rectangle.
         """
+        self.kernels.flush()
         directory = Path(directory)
         manifest = np.load(directory / "manifest.npy", allow_pickle=True)[0]
         global_shape = tuple(manifest["global_shape"])
@@ -584,6 +589,7 @@ class MeshContext:
     # -- misc -----------------------------------------------------------------------
     def charge(self, flops: float, label: str = "") -> None:
         """Charge extra analytic work to this rank's virtual clock."""
+        self.kernels.flush()
         self.comm.charge(flops, label=label, working_set_bytes=self.working_set)
 
     def _check_compatible(self, out: DistGrid, ins: tuple[DistGrid, ...]) -> None:

@@ -1,0 +1,184 @@
+"""Optional JIT of expression kernels (``REPRO_KERNEL_JIT``).
+
+An :class:`ExprKernel` declares its body as a single elementwise
+expression string over named bindings instead of an opaque Python
+callable.  That buys two things: the runtime can *compile* the body
+(numexpr evaluates the whole expression in one cache-blocked C loop;
+numba compiles a fused ufunc), and the expression is self-describing
+for docs and traces.
+
+Neither numexpr nor numba is a dependency — when the switch is on but
+no engine imports, execution falls back to the pure-numpy evaluator and
+counts a ``core.kernels.jit_fallbacks``.  JIT engines may reassociate
+floating-point operations, so JIT output is *not* covered by the
+fusion A/B bitwise gate (which compares ``REPRO_KERNEL_FUSION`` on/off
+with the JIT off); it is an opt-in speed lever, like ``-ffast-math``.
+
+Switch values: ``0``/``off`` (default) numpy evaluator; ``1``/``auto``
+prefer numexpr, then numba, then numpy; ``numexpr``/``numba`` demand
+one engine (fall back with a counter if missing).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ArchetypeError
+from repro.kernels.ir import Kernel, StencilView
+from repro.obs.metrics import counter_handle
+
+_JIT_ENV = "REPRO_KERNEL_JIT"
+_OFF = ("", "0", "false", "off")
+
+_mode: str = os.environ.get(_JIT_ENV, "0").lower()
+
+_JIT_FALLBACKS = counter_handle(
+    "core.kernels.jit_fallbacks",
+    help="expression kernels evaluated by numpy because the requested JIT engine is unavailable",
+)
+_JIT_EVALS = counter_handle(
+    "core.kernels.jit_evals", help="expression-kernel region evaluations via a JIT engine"
+)
+
+
+def jit_mode() -> str:
+    """The active JIT mode string (``off``, ``auto``, ``numexpr``, ``numba``)."""
+    if _mode in _OFF:
+        return "off"
+    if _mode in ("1", "auto", "on", "true"):
+        return "auto"
+    return _mode
+
+
+def set_jit(mode: str) -> str:
+    """Set the JIT mode; returns the previous one.  Also mirrored into
+    the environment so freshly spawned backend workers agree."""
+    global _mode
+    previous = _mode
+    _mode = str(mode).lower()
+    os.environ[_JIT_ENV] = str(mode)
+    return previous
+
+
+@contextlib.contextmanager
+def jit_forced(mode: str) -> Iterator[None]:
+    """Force a JIT mode for the duration of the block."""
+    previous = set_jit(mode)
+    try:
+        yield
+    finally:
+        set_jit(previous)
+
+
+def _engine():
+    """Resolve the active JIT engine: ``("numexpr", module)``,
+    ``("numba", module)``, or ``None`` (numpy evaluator)."""
+    mode = jit_mode()
+    if mode == "off":
+        return None
+    want_numexpr = mode in ("auto", "numexpr")
+    want_numba = mode in ("auto", "numba")
+    if want_numexpr:
+        try:
+            import numexpr  # type: ignore
+
+            return ("numexpr", numexpr)
+        except ImportError:
+            pass
+    if want_numba:
+        try:
+            import numba  # type: ignore
+
+            return ("numba", numba)
+        except ImportError:
+            pass
+    _JIT_FALLBACKS.inc()
+    return None
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A binding to one loop argument: *index* into the arg list, read
+    at *offset* (a stencil shift; ``None`` means the aligned view)."""
+
+    index: int
+    offset: tuple[int, ...] | None = None
+
+
+class ExprKernel(Kernel):
+    """A kernel body given as one elementwise expression string.
+
+    ``bindings`` maps each free name of *expr* to a :class:`Ref` (a view
+    of one loop argument, optionally stencil-shifted) or a plain scalar
+    constant.  The result is assigned into argument 0's view.  Example —
+    the Jacobi sweep::
+
+        ExprKernel(
+            "0.25 * (un + us + uw + ue - h2 * f)",
+            {"un": Ref(1, (-1, 0)), "us": Ref(1, (1, 0)),
+             "uw": Ref(1, (0, -1)), "ue": Ref(1, (0, 1)),
+             "f": Ref(2), "h2": h2},
+            name="jacobi",
+        )
+    """
+
+    __slots__ = ("expr", "bindings", "_code", "_numba_fn")
+
+    def __init__(self, expr: str, bindings: dict[str, Ref | float], name: str = "expr"):
+        super().__init__(self._numpy_eval, name=name)
+        self.expr = expr
+        self.bindings = dict(bindings)
+        self._code = compile(expr, f"<kernel {name}>", "eval")
+        self._numba_fn = None
+
+    def _namespace(self, views: list) -> dict[str, object]:
+        ns: dict[str, object] = {}
+        for name, binding in self.bindings.items():
+            if isinstance(binding, Ref):
+                view = views[binding.index]
+                if isinstance(view, StencilView):
+                    ns[name] = view[binding.offset] if binding.offset else view.center
+                elif binding.offset and any(binding.offset):
+                    raise ArchetypeError(
+                        f"binding {name!r} has offset {binding.offset} but its "
+                        "argument is pointwise (declare a halo on the READ arg)"
+                    )
+                else:
+                    ns[name] = view
+            else:
+                ns[name] = binding
+        return ns
+
+    def _numpy_eval(self, out: np.ndarray, *rest) -> None:  # pragma: no cover
+        raise ArchetypeError("ExprKernel bodies are executed via execute()")
+
+    def execute(self, views: list) -> None:
+        """Evaluate the expression into argument 0's view."""
+        out = views[0]
+        ns = self._namespace(views)
+        engine = _engine()
+        if engine is not None and engine[0] == "numexpr":
+            engine[1].evaluate(self.expr, local_dict=ns, out=out, casting="same_kind")
+            _JIT_EVALS.inc()
+            return
+        if engine is not None and engine[0] == "numba":
+            self._numba_execute(engine[1], out, ns)
+            return
+        out[...] = eval(self._code, {"__builtins__": {}}, ns)
+
+    def _numba_execute(self, numba, out: np.ndarray, ns: dict) -> None:
+        """Compile (once) and run the expression as a numba-jitted
+        function of its bindings, in sorted-name order."""
+        names = sorted(ns)
+        if self._numba_fn is None:
+            src = f"def _impl({', '.join(names)}):\n    return {self.expr}\n"
+            scope: dict[str, object] = {}
+            exec(compile(src, f"<numba kernel {self.name}>", "exec"), {"np": np}, scope)
+            self._numba_fn = numba.njit(cache=False)(scope["_impl"])
+        out[...] = self._numba_fn(*(ns[n] for n in names))
+        _JIT_EVALS.inc()

@@ -80,6 +80,13 @@ def _knapfarm_explorer() -> ScheduleExplorer:
     return ScheduleExplorer(lambda: runner(mode=None))
 
 
+def _fusedmesh_explorer() -> ScheduleExplorer:
+    from repro.verify.conformance import PROGRAMS as CONFORMANCE
+
+    runner = CONFORMANCE["fusedmesh"].runner
+    return ScheduleExplorer(lambda: runner(mode=None))
+
+
 #: name -> (explorer factory, races expected?)
 PROGRAMS: dict[str, tuple[Callable[[], ScheduleExplorer], bool]] = {
     "mergesort": (_mergesort_explorer, False),
@@ -90,6 +97,7 @@ PROGRAMS: dict[str, tuple[Callable[[], ScheduleExplorer], bool]] = {
     "race-free-arrival": (_race_free_arrival_explorer, False),
     "imagepipe": (_imagepipe_explorer, False),
     "knapfarm": (_knapfarm_explorer, False),
+    "fusedmesh": (_fusedmesh_explorer, False),
 }
 
 

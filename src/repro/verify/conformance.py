@@ -59,6 +59,9 @@ def _program(name: str, app: str) -> ConformanceProgram:
 PROGRAMS: dict[str, ConformanceProgram] = {
     "onedeep": _program("onedeep", "mergesort"),
     "meshspectral": _program("meshspectral", "poisson"),
+    # The fused mesh-spectral program: multi-species transport/chemistry
+    # through the kernel layer's fusion, packing, and hoisting paths.
+    "fusedmesh": _program("fusedmesh", "smog"),
     "imagepipe": _program("imagepipe", "imagepipe"),
     "knapfarm": _program("knapfarm", "knapfarm"),
 }

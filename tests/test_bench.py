@@ -159,10 +159,10 @@ class TestBenchArtifact:
 
         from repro.bench.__main__ import FIGURE_MACHINES, FIGURES, main
 
-        out = tmp_path / "BENCH_PR6.json"
+        out = tmp_path / "BENCH_PR8.json"
         assert main(["all", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
-        assert data["artifact"] == "BENCH_PR6"
+        assert data["artifact"] == "BENCH_PR8"
         assert set(data["figures"]) == set(FIGURES) | {"fig_overlap", "fig_pipeline"}
         for name, entry in data["figures"].items():
             if name in ("fig_overlap", "fig_pipeline"):
@@ -208,8 +208,16 @@ class TestBenchArtifact:
         for row in data["parallel"]["rows"]:
             assert row["identical"] is True, row
             assert row["host_cpus"] >= 1
+        # The kernel-fusion ablation: digest-identical rows, and the
+        # counters prove hoisting/packing actually engaged somewhere.
+        krows = data["kernels"]["rows"]
+        assert {r["app"] for r in krows} == {"poisson", "smog", "spectralflow"}
+        for row in krows:
+            assert row["identical"] is True, row
+        assert any(r["counters"].get("exchanges_hoisted", 0) > 0 for r in krows)
+        assert any(r["counters"].get("dats_packed", 0) > 0 for r in krows)
 
     def test_default_artifact_name(self):
         from repro.bench.__main__ import ARTIFACT
 
-        assert ARTIFACT == "BENCH_PR6.json"
+        assert ARTIFACT == "BENCH_PR8.json"

@@ -17,6 +17,7 @@ from repro.bench.predict import (
     predict_fft2d,
     predict_onedeep_sort,
     predict_poisson,
+    predict_smog,
     ring_allgather_time,
 )
 from repro.machines.catalog import CRAY_T3D, ETHERNET_SUNS, IBM_SP, INTEL_DELTA
@@ -106,6 +107,22 @@ class TestProgramPredictions:
         simulated = fft2d_archetype().run(p, data, 2, machine=IBM_SP).elapsed
         predicted = predict_fft2d(shape[0], shape[1], 2, p, IBM_SP)
         assert _agree(predicted, simulated), (p, predicted, simulated)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    @pytest.mark.parametrize("machine", [INTEL_DELTA, IBM_SP], ids=lambda m: m.name)
+    def test_smog(self, p, machine):
+        """Fused-op accounting: the model charges the packed 3-species
+        slab once per step and the transport/chemistry flops per cell —
+        the same plan the kernel layer executes in either fusion mode."""
+        from repro.apps import registry
+
+        nx = ny = 48
+        steps = 5
+        simulated = registry.get("smog").run(
+            {"nprocs": p, "nx": nx, "ny": ny, "steps": steps}, machine=machine
+        ).elapsed
+        predicted = predict_smog(nx, ny, steps, p, machine)
+        assert _agree(predicted, simulated), (p, machine.name, predicted, simulated)
 
     @pytest.mark.parametrize("p", [4, 16])
     def test_cfd(self, p):
