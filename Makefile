@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs-smoke chaos bench bench-wallclock bench-parallel \
-	bench-pipeline bench-kernels serve-smoke coverage lint
+	bench-pipeline bench-kernels serve-smoke tune-smoke coverage lint
 
 # Default gate: lint (when ruff is available), tier-1 tests, and the
 # observability smoke check.
@@ -37,8 +37,8 @@ chaos:
 	$(PYTHON) -m pytest -q -m chaos
 
 # Reduced-scale sweep over every figure plus the blocking-vs-overlapped
-# exchange ablation and the pipeline farm-width sweep; writes
-# BENCH_PR8.json.
+# exchange ablation, the pipeline farm-width sweep, the host-time
+# ablations, and the autotuning ablation; writes BENCH_PR9.json.
 bench:
 	$(PYTHON) -m repro.bench all
 
@@ -73,9 +73,17 @@ bench-parallel:
 # identity checked on every row.  The floor is deliberately generous
 # (0.2x trips only if fusion catastrophically regresses or the A/B
 # harness breaks) because host timing on shared CI runners is noisy;
-# the committed BENCH_PR8.json records the measured win.
+# the committed BENCH_PR9.json records the measured win.
 bench-kernels:
 	$(PYTHON) -m repro.bench kernels --repeats 1 --min-speedup 0.2
+
+# Autotuning smoke: exhaustive searches on poisson + fft2d over two
+# modern machines against a throwaway catalog — checks the entry is
+# written, the tuned makespan never exceeds the default, a second
+# search is a pure catalog hit, and the tuned end-to-end run's digest
+# is bitwise-equal to the untuned run's.
+tune-smoke:
+	$(PYTHON) -m repro.tune smoke
 
 # Coverage with a soft floor: the report is informational (exit 0) so a
 # dip reads as a warning in CI rather than a red build; the floor keeps

@@ -178,7 +178,7 @@ def _apply_pec(e_grids) -> None:
 
 def fdtd_archetype() -> MeshProgram:
     """Archetype driver for the FDTD code."""
-    return MeshProgram(fdtd_program)
+    return MeshProgram(fdtd_program, app_name="fdtd")
 
 
 def sequential_fdtd_time(

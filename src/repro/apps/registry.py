@@ -72,12 +72,37 @@ class AppSpec:
         mode: str | None = None,
         trace: bool = False,
     ) -> RunResult:
-        """Run the app with *params* overriding the registered defaults."""
+        """Run the app with *params* overriding the registered defaults.
+
+        When the tuned-config catalog holds a winner for (app, machine,
+        nprocs) it is applied by default: tuned *parameter* knobs fill
+        only the keys the caller left at their defaults (explicit params
+        always win) and tuned runtime knobs (process grid, tile bytes,
+        shm threshold) scope the run.  ``REPRO_TUNE=0`` disables the
+        lookup; see :mod:`repro.tune.catalog`.
+        """
         if isinstance(machine, str):
             machine = get_machine(machine)
-        return self.runner(
-            self.params_with(params), machine=machine, mode=mode, trace=trace
+        from repro.tune import catalog as tune_catalog
+
+        merged = self.params_with(params)
+        entry = tune_catalog.consult(
+            self.name, machine.name, int(merged.get("nprocs", 0))
         )
+        if entry is None:
+            # No tuned entry (or consultation is off): suppress the
+            # archetype-level lookup too — same key, same answer.
+            with tune_catalog.disabled():
+                return self.runner(merged, machine=machine, mode=mode, trace=trace)
+        merged.update(
+            {
+                k: v
+                for k, v in entry.config.params.items()
+                if k in self.defaults and (params is None or k not in params)
+            }
+        )
+        with tune_catalog.applying(entry.config):
+            return self.runner(merged, machine=machine, mode=mode, trace=trace)
 
 
 _REGISTRY: dict[str, AppSpec] = {}
@@ -141,6 +166,48 @@ def _run_poisson(params: dict, *, machine, mode, trace) -> RunResult:
         tolerance=params["tolerance"],
         max_iters=params["max_iters"],
         gather_solution=params["gather_solution"],
+        overlap=params["overlap"],
+        mode=mode,
+        machine=machine,
+        trace=trace,
+    )
+
+
+def _run_cfd(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.cfd import cfd_archetype
+
+    return cfd_archetype().run(
+        params["nprocs"],
+        params["nx"],
+        params["ny"],
+        params["steps"],
+        ic=params["ic"],
+        cfl=params["cfl"],
+        periodic=params["periodic"],
+        gather=params["gather"],
+        packed_exchange=params["packed_exchange"],
+        cfl_interval=params["cfl_interval"],
+        reactive=params["reactive"],
+        overlap=params["overlap"],
+        mode=mode,
+        machine=machine,
+        trace=trace,
+    )
+
+
+def _run_fdtd(params: dict, *, machine, mode, trace) -> RunResult:
+    from repro.apps.fdtd import fdtd_archetype
+
+    return fdtd_archetype().run(
+        params["nprocs"],
+        params["nx"],
+        params["ny"],
+        params["nz"],
+        params["steps"],
+        source_freq=params["source_freq"],
+        courant=params["courant"],
+        gather=params["gather"],
+        overlap=params["overlap"],
         mode=mode,
         machine=machine,
         trace=trace,
@@ -241,8 +308,52 @@ register(
             "tolerance": 0.0,
             "max_iters": 8,
             "gather_solution": False,
+            "overlap": True,
         },
         verify_overrides={"nx": 12, "ny": 12, "tolerance": 1e-3, "max_iters": 10_000},
+    )
+)
+register(
+    AppSpec(
+        name="cfd",
+        archetype="mesh-spectral",
+        description="compressible-flow step loop (packed exchanges, CFL reductions)",
+        runner=_run_cfd,
+        defaults={
+            "nprocs": 4,
+            "nx": 32,
+            "ny": 32,
+            "steps": 3,
+            "ic": "shock",
+            "cfl": 0.4,
+            "periodic": False,
+            "gather": False,
+            "packed_exchange": True,
+            "cfl_interval": 1,
+            "reactive": False,
+            "overlap": True,
+        },
+        verify_overrides={"nx": 12, "ny": 12, "steps": 2},
+    )
+)
+register(
+    AppSpec(
+        name="fdtd",
+        archetype="mesh-spectral",
+        description="3-D FDTD electromagnetics (leapfrog E/H updates)",
+        runner=_run_fdtd,
+        defaults={
+            "nprocs": 4,
+            "nx": 12,
+            "ny": 12,
+            "nz": 12,
+            "steps": 2,
+            "source_freq": 0.05,
+            "courant": 0.5,
+            "gather": False,
+            "overlap": True,
+        },
+        verify_overrides={"nx": 8, "ny": 8, "nz": 8, "steps": 2},
     )
 )
 register(

@@ -9,8 +9,9 @@ Usage::
     python -m repro.bench wallclock        # simulator host-time ablation
     python -m repro.bench parallel         # serial vs process-parallel
     python -m repro.bench kernels          # kernel-fusion off vs on
+    python -m repro.bench tune             # tuned vs default makespan
     python -m repro.bench all              # every figure, reduced scale,
-                                           #   writes BENCH_PR8.json
+                                           #   writes BENCH_PR9.json
     python -m repro.bench list
 
 Each figure command runs the corresponding experiment, prints the
@@ -25,11 +26,14 @@ measures host seconds with par-loop fusion forced off vs on
 are identical in both modes; only the group-body walk changes.
 ``pipeline`` sweeps the image pipeline's blur-farm width and reports
 virtual-time throughput and per-frame latency on both modelled
-machines.  ``all`` sweeps every figure at a reduced problem scale, runs
-the blocking-vs-overlapped exchange ablation, the pipeline farm-width
-sweep, and the three host-time ablations, and emits a machine-readable
-artifact (``BENCH_PR8.json``) so the performance trajectory can be
-tracked across PRs.
+machines.  ``tune`` runs exhaustive autotuning searches
+(:mod:`repro.bench.tune`) over the modern machine models and reports
+tuned-vs-default virtual makespans, prediction error, and prune
+hit-rates.  ``all`` sweeps every figure at a reduced problem scale,
+runs the blocking-vs-overlapped exchange ablation, the pipeline
+farm-width sweep, the three host-time ablations, and the autotuning
+ablation, and emits a machine-readable artifact (``BENCH_PR9.json``)
+so the performance trajectory can be tracked across PRs.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ import sys
 from repro.bench import figures, wallclock
 from repro.bench import kernels as kernels_bench
 from repro.bench import parallel as parallel_bench
+from repro.bench import tune as tune_bench
 from repro.bench.harness import SpeedupCurve
 from repro.bench.report import format_curves, render_ascii_plot
 
@@ -54,7 +59,7 @@ FIGURES = {
 }
 
 #: default output of ``python -m repro.bench all``
-ARTIFACT = "BENCH_PR8.json"
+ARTIFACT = "BENCH_PR9.json"
 
 #: machine model each figure runs on (matches the figure defaults)
 FIGURE_MACHINES = {
@@ -121,7 +126,7 @@ def render_overlap_table(rows: list[dict]) -> str:
 
 def run_all(json_path: str) -> int:
     """Sweep every figure at reduced scale and write the JSON artifact."""
-    report: dict = {"artifact": "BENCH_PR8", "figures": {}}
+    report: dict = {"artifact": "BENCH_PR9", "figures": {}}
     for name, (experiment, description) in FIGURES.items():
         curves = experiment(**FAST_PARAMS[name])
         entry = {
@@ -190,6 +195,16 @@ def run_all(json_path: str) -> int:
     print()
     print(kernels_bench.render_table(kernel_rows))
     problems += kernels_bench.check_rows(kernel_rows, min_speedup=None)
+    tune_rows = tune_bench.run_ablation()
+    report["tune"] = {
+        "description": "autotuned vs default virtual makespan, exhaustive "
+        "search (predicted-vs-measured error and prune hit-rate per case)",
+        "machines": list(tune_bench.MACHINES),
+        "rows": [r.to_json() for r in tune_rows],
+    }
+    print()
+    print(tune_bench.render_table(tune_rows))
+    problems += tune_bench.check_rows(tune_rows)
     if problems:
         for p in problems:
             print(f"FAIL: {p}")
@@ -214,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
             "wallclock",
             "parallel",
             "kernels",
+            "tune",
             "all",
             "list",
         ],
@@ -222,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         "farm-width sweep, 'wallclock' for the simulator "
         "host-time ablation, 'parallel' for the serial-vs-process-"
         "parallel ablation, 'kernels' for the par-loop fusion ablation, "
+        "'tune' for the autotuned-vs-default makespan ablation, "
         f"'all' for the reduced-scale sweep (writes {ARTIFACT}), "
         "or 'list' to enumerate them",
     )
@@ -292,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  wallclock: simulator host-time ablation (fast path off vs on)")
         print("  parallel: serial vs process-parallel host-time ablation")
         print("  kernels: par-loop fusion host-time ablation (off vs on)")
+        print("  tune: autotuned vs default virtual-makespan ablation")
         print("ablation workloads (from the shared app registry):")
         for name, (_, description) in sorted(wallclock.WORKLOADS.items()):
             print(f"  {name}: {description}")
@@ -340,6 +358,18 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(kernels_bench.render_table(rows))
         problems = kernels_bench.check_rows(rows, min_speedup=args.min_speedup)
+        for p in problems:
+            print(f"FAIL: {p}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump([r.to_json() for r in rows], fh, indent=2)
+            print(f"\nseries written to {args.json}")
+        return 1 if problems else 0
+
+    if args.figure == "tune":
+        rows = tune_bench.run_ablation()
+        print(tune_bench.render_table(rows))
+        problems = tune_bench.check_rows(rows)
         for p in problems:
             print(f"FAIL: {p}")
         if args.json:

@@ -59,6 +59,10 @@ class Archetype:
     #: archetype name used in diagnostics
     name: str = "archetype"
 
+    #: registered application name for tuned-config lookup; ``None`` means
+    #: the instance never consults the tuned catalog
+    app_name: str | None = None
+
     def body(self, comm: Any, *args: Any, **kwargs: Any) -> Any:
         """The per-rank program.  Subclasses must override."""
         raise NotImplementedError
@@ -78,6 +82,7 @@ class Archetype:
         mode: ExecutionMode | str | None = None,
         machine: MachineModel = IDEAL,
         trace: bool = False,
+        proc_grid: tuple[int, ...] | None = None,
         **kwargs: Any,
     ) -> RunResult:
         """Execute the archetype program on *nprocs* ranks.
@@ -87,17 +92,39 @@ class Archetype:
         ``mode=None`` (the default) defers to the ``REPRO_BACKEND``
         environment default via the backend registry, falling back to
         sequential execution.
+
+        *proc_grid* pins the default ("blocks") process-grid factorisation
+        for the run.  When it is left unset and the instance carries an
+        :attr:`app_name`, the tuned-config catalog is consulted for a
+        winner recorded for this (app, machine, nprocs) — explicit
+        parameters always beat the catalog, and ``REPRO_TUNE=0`` disables
+        the lookup entirely.
         """
         if nprocs < 1:
             raise ArchetypeError(f"{self.name}: nprocs must be >= 1, got {nprocs}")
         backend = None if mode is None else ExecutionMode(mode).backend
         body_args, body_kwargs = self.prepare(nprocs, *args, **kwargs)
-        return spmd_run(
-            nprocs,
-            self.body,
-            args=body_args,
-            kwargs=body_kwargs,
-            machine=machine,
-            backend=backend,
-            trace=trace,
-        )
+        with self._runtime_config(nprocs, machine, proc_grid):
+            return spmd_run(
+                nprocs,
+                self.body,
+                args=body_args,
+                kwargs=body_kwargs,
+                machine=machine,
+                backend=backend,
+                trace=trace,
+            )
+
+    def _runtime_config(self, nprocs: int, machine: MachineModel, proc_grid):
+        """Context scoping the run's grid/knob configuration."""
+        from repro.comm.cart import proc_grid_override
+
+        if proc_grid is not None:
+            return proc_grid_override(tuple(int(d) for d in proc_grid))
+        if self.app_name is not None:
+            from repro.tune.catalog import consulting
+
+            return consulting(self.app_name, machine.name, nprocs)
+        import contextlib
+
+        return contextlib.nullcontext()

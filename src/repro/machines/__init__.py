@@ -11,12 +11,16 @@ the base processor count).
 
 from repro.machines.model import MachineModel
 from repro.machines.catalog import (
+    CLOUD_25GBE,
     CRAY_T3D,
     ETHERNET_SUNS,
+    GPU_NODE,
     IBM_SP,
     IDEAL,
     INTEL_DELTA,
     INTEL_PARAGON,
+    MODERN_MACHINES,
+    NUMA_EPYC,
     get_machine,
     list_machines,
 )
@@ -29,6 +33,10 @@ __all__ = [
     "IBM_SP",
     "CRAY_T3D",
     "ETHERNET_SUNS",
+    "NUMA_EPYC",
+    "CLOUD_25GBE",
+    "GPU_NODE",
+    "MODERN_MACHINES",
     "get_machine",
     "list_machines",
 ]

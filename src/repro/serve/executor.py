@@ -22,12 +22,16 @@ import numpy as np
 from repro.apps import registry
 from repro.machines.catalog import get_machine
 from repro.obs.chrome import chrome_trace
-from repro.obs.metrics import scoped_registry
+from repro.obs.metrics import counter_handle, scoped_registry
 from repro.runtime import backends
 from repro.runtime.spmd import RunResult, fuzzed_schedule
 from repro.serve.protocol import JobRequest
 from repro.trace.analysis import summarize
 from repro.verify.digest import value_digest
+
+_TUNED_RUNS = counter_handle(
+    "core.serve.jobs.tuned", help="jobs executed under a pinned tuned config"
+)
 
 
 @dataclass
@@ -114,11 +118,27 @@ def execute(request: JobRequest, trace: bool = True) -> JobOutcome:
     The run happens under a scoped metrics registry so the snapshot
     contains exactly this job's instrumentation — the server merges
     per-job snapshots into its own registry.
+
+    The tuned configuration applied is exactly the one pinned into the
+    request at admission (see :mod:`repro.serve.protocol`): a pinned
+    config is applied, and an empty/absent one runs with consultation
+    suppressed, so this worker's local catalog can never shift a result
+    away from what the cache key promises.
     """
+    from repro.tune import catalog as tune_catalog
+
     spec = registry.get(request.app)
     machine = get_machine(request.machine)
+    if request.tuned:
+        tuned_scope = tune_catalog.applying(
+            tune_catalog.TunedConfig.from_dict(request.tuned)
+        )
+    else:
+        tuned_scope = tune_catalog.disabled()
     started = time.perf_counter()
-    with scoped_registry() as job_registry:
+    with scoped_registry() as job_registry, tuned_scope:
+        if request.tuned:
+            _TUNED_RUNS.inc()
         if request.backend == "fuzzed":
             with fuzzed_schedule(request.seed):
                 result = spec.run(

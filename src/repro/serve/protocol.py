@@ -11,14 +11,24 @@ Cache-key derivation
 :meth:`JobRequest.cache_key` digests the *canonical* request: the app
 name, the fully-merged parameter dict (defaults overlaid with the
 caller's overrides, so ``{}`` and an explicit restatement of the
-defaults key identically), the machine name, the schedule seed, and the
-resolved backend name (aliases collapse).  The digest reuses
+defaults key identically), the machine name, the schedule seed, the
+resolved backend name (aliases collapse), and the *pinned tuned
+configuration*.  The digest reuses
 :func:`repro.verify.digest.value_digest` — the same canonical encoding
 that certifies cross-backend identity — so the key is stable across
 processes and Python versions.  Because registered apps derive all of
 their input from the params (see :mod:`repro.apps.registry`) and runs
 are deterministic, two requests with equal keys provably produce equal
 result digests; that is what makes serving a cached result sound.
+
+Tuned configurations resolve at *admission*, not execution: a request
+arriving without a ``tuned`` field gets the server's current
+tuned-config catalog answer (possibly the empty config) pinned into it
+by :meth:`JobRequest.validated` before the cache key is derived, and
+the executor applies exactly the pinned config.  Tuned runtime knobs
+change virtual clocks, so letting a worker's catalog state leak into a
+run unrecorded would poison the cache; pinning makes the tuned state
+part of the request's identity instead.
 """
 
 from __future__ import annotations
@@ -36,7 +46,8 @@ from repro.verify.digest import value_digest
 
 #: protocol version; bump on incompatible request-encoding changes so a
 #: stale cache can never satisfy a request it does not actually match
-SCHEMA_VERSION = 1
+#: (2: tuned-config pinning entered the request schema and cache key)
+SCHEMA_VERSION = 2
 
 #: default per-job timeout (seconds) when neither the request nor the
 #: server configuration names one
@@ -71,6 +82,11 @@ class JobRequest:
     machine: str = "ideal"
     seed: int = 0
     backend: str = "deterministic"
+    #: pinned tuned configuration (see :mod:`repro.tune.catalog`):
+    #: ``None`` means "resolve from the server's catalog at admission",
+    #: ``{}`` means "explicitly untuned"; after :meth:`validated` this is
+    #: always a dict and part of the cache key
+    tuned: dict[str, Any] | None = None
     priority: int = 0
     timeout: float | None = None
     weight: float = 1.0
@@ -104,11 +120,35 @@ class JobRequest:
             raise ServeError(f"timeout must be positive, got {self.timeout}")
         if self.weight <= 0:
             raise ServeError(f"weight must be positive, got {self.weight}")
+        tuned = self.tuned
+        if tuned is None:
+            from repro.tune import catalog as tune_catalog
+
+            entry = tune_catalog.consult(
+                self.app, self.machine, int(params.get("nprocs", 0))
+            )
+            # A default-config winner pins as {} so it cannot split the
+            # cache between "untuned" and "tuned to the default".
+            if entry is None or entry.config.is_default():
+                tuned = {}
+            else:
+                tuned = entry.config.to_dict()
+        elif not isinstance(tuned, dict):
+            raise ServeError(
+                f"tuned must be an object or null, got {type(tuned).__name__}"
+            )
+        if tuned:
+            # Tuned parameter knobs fill only keys the caller left at the
+            # app's defaults — explicit params always win.
+            for key, value in (tuned.get("params") or {}).items():
+                if key in spec.defaults and key not in self.params:
+                    params[key] = value
         return replace(
             self,
             params=params,
             seed=int(self.seed),
             backend=backend,
+            tuned=tuned,
             priority=int(self.priority),
         )
 
@@ -127,6 +167,7 @@ class JobRequest:
                 self.machine,
                 self.seed,
                 self.backend,
+                self.tuned,
             ]
         )
 

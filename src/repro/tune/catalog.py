@@ -1,0 +1,290 @@
+"""Versioned on-disk catalog of tuned configurations.
+
+One JSON file per (app, machine) under the catalog root —
+``$REPRO_TUNE_DIR`` when set, else ``~/.cache/repro/tuned`` — with one
+entry per rank count.  Entries record the winning :class:`TunedConfig`
+together with the evidence for it (predicted and measured virtual
+makespans, the default's makespan, the canonical result digest, and a
+signature of the search space), so a later ``search`` over an unchanged
+space is a catalog hit that re-measures nothing.
+
+Consultation rules (enforced by :func:`consulting`):
+
+* explicit parameters always win — ``Archetype.run(proc_grid=...)``
+  never reaches the catalog, and registry callers' explicit params are
+  never overridden by tuned ones;
+* ``REPRO_TUNE=0`` disables lookup entirely;
+* while a tuned or search configuration is being applied, nested
+  consultation is a no-op, so the searcher's candidate measurements and
+  registry-then-archetype double dispatch cannot stack overrides.
+
+Applying a config is env-backed (:data:`repro.comm.cart.PROC_GRID_ENV`,
+``REPRO_KERNEL_TILE_BYTES``, ``REPRO_SHM_THRESHOLD``) so forked
+parallel-backend workers inherit it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.comm.cart import proc_grid_override
+from repro.obs.metrics import counter_handle
+
+#: bump when the entry layout changes; mismatched files are ignored
+SCHEMA_VERSION = 1
+
+TUNE_ENV = "REPRO_TUNE"
+DIR_ENV = "REPRO_TUNE_DIR"
+
+_TILE_ENV = "REPRO_KERNEL_TILE_BYTES"
+_SHM_ENV = "REPRO_SHM_THRESHOLD"
+
+_HITS = counter_handle("core.tune.catalog_hits", help="catalog lookups that found an entry")
+_MISSES = counter_handle("core.tune.catalog_misses", help="catalog lookups that found nothing")
+
+#: nesting depth of applied/suppressed configuration scopes
+_active = 0
+
+
+def enabled() -> bool:
+    """Whether tuned-config consultation is on (``REPRO_TUNE=0`` turns it off)."""
+    return os.environ.get(TUNE_ENV, "1").lower() not in ("0", "false", "off")
+
+
+def root() -> Path:
+    """The catalog directory (not created until something is stored)."""
+    override = os.environ.get(DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "tuned"
+
+
+def entry_path(app: str, machine: str) -> Path:
+    return root() / f"{app}--{machine}.json"
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """One configuration point: runtime knobs plus app-parameter overrides.
+
+    ``None`` fields mean "leave the default alone".  *params* holds
+    knobs that are app parameters (``overlap``, farm widths/windows) —
+    applied by the registry's :meth:`AppSpec.run`, not by env.
+    """
+
+    proc_grid: tuple[int, ...] | None = None
+    tile_bytes: int | None = None
+    shm_threshold: int | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def is_default(self) -> bool:
+        return (
+            self.proc_grid is None
+            and self.tile_bytes is None
+            and self.shm_threshold is None
+            and not self.params
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "proc_grid": list(self.proc_grid) if self.proc_grid else None,
+            "tile_bytes": self.tile_bytes,
+            "shm_threshold": self.shm_threshold,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TunedConfig":
+        grid = d.get("proc_grid")
+        return cls(
+            proc_grid=tuple(int(x) for x in grid) if grid else None,
+            tile_bytes=d.get("tile_bytes"),
+            shm_threshold=d.get("shm_threshold"),
+            params=dict(d.get("params") or {}),
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.proc_grid:
+            parts.append("grid=" + "x".join(str(d) for d in self.proc_grid))
+        if self.tile_bytes is not None:
+            parts.append(f"tile={self.tile_bytes}")
+        if self.shm_threshold is not None:
+            parts.append(f"shm={self.shm_threshold}")
+        parts.extend(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return " ".join(parts) or "default"
+
+
+@dataclass(frozen=True)
+class TunedEntry:
+    """A catalog record: the winning config and the evidence for it."""
+
+    config: TunedConfig
+    #: closed-form prediction for the winner (None when unpredicted)
+    predicted: float | None
+    #: measured virtual makespan of the winner
+    measured: float
+    #: measured virtual makespan of the default configuration
+    default_measured: float
+    #: canonical result digest (bitwise-equal to the default run's)
+    digest: str
+    #: digest of the searched space; an unchanged space means a re-run
+    #: of ``search`` is a catalog hit
+    space_signature: str
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "predicted": self.predicted,
+            "measured": self.measured,
+            "default_measured": self.default_measured,
+            "digest": self.digest,
+            "space_signature": self.space_signature,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TunedEntry":
+        return cls(
+            config=TunedConfig.from_dict(d["config"]),
+            predicted=d.get("predicted"),
+            measured=float(d["measured"]),
+            default_measured=float(d["default_measured"]),
+            digest=str(d["digest"]),
+            space_signature=str(d["space_signature"]),
+        )
+
+
+def load(app: str, machine: str) -> dict[str, TunedEntry]:
+    """All entries for (app, machine), keyed by rank count (as a string).
+
+    Missing, corrupt, or schema-mismatched files read as empty — a stale
+    catalog can degrade to defaults but never break a run.
+    """
+    path = entry_path(app, machine)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION:
+        return {}
+    out: dict[str, TunedEntry] = {}
+    for key, raw in (doc.get("entries") or {}).items():
+        try:
+            out[str(key)] = TunedEntry.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+def store(app: str, machine: str, nprocs: int, entry: TunedEntry) -> Path:
+    """Merge *entry* into the (app, machine) file; atomic replace."""
+    entries = load(app, machine)
+    entries[str(nprocs)] = entry
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "app": app,
+        "machine": machine,
+        "entries": {k: e.to_dict() for k, e in sorted(entries.items())},
+    }
+    path = entry_path(app, machine)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def lookup(app: str, machine: str, nprocs: int) -> TunedEntry | None:
+    """The stored entry for (app, machine, nprocs), if any."""
+    return load(app, machine).get(str(nprocs))
+
+
+def active() -> bool:
+    """Whether a configuration scope (applied or suppressed) is open."""
+    return _active > 0
+
+
+@contextmanager
+def _scope() -> Iterator[None]:
+    global _active
+    _active += 1
+    try:
+        yield
+    finally:
+        _active -= 1
+
+
+@contextmanager
+def _env_override(name: str, value: int | None) -> Iterator[None]:
+    if value is None:
+        yield
+        return
+    prev = os.environ.get(name)
+    os.environ[name] = str(int(value))
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = prev
+
+
+@contextmanager
+def applying(config: TunedConfig) -> Iterator[None]:
+    """Apply *config*'s runtime knobs for the scope (env-backed, so the
+    parallel backend's forked workers see them); suppresses nested
+    catalog consultation."""
+    with _scope():
+        with proc_grid_override(config.proc_grid):
+            with _env_override(_TILE_ENV, config.tile_bytes):
+                with _env_override(_SHM_ENV, config.shm_threshold):
+                    yield
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Suppress catalog consultation for the scope without applying
+    anything — the searcher measures baselines and candidates here so a
+    previously-stored winner can never contaminate a measurement."""
+    with _scope():
+        yield
+
+
+def consult(app: str, machine: str, nprocs: int) -> TunedEntry | None:
+    """Catalog lookup honouring the consultation rules (with counters)."""
+    if not enabled() or active():
+        return None
+    entry = lookup(app, machine, nprocs)
+    if entry is None:
+        _MISSES.inc()
+    else:
+        _HITS.inc()
+    return entry
+
+
+def consulting(app: str, machine: str, nprocs: int):
+    """Context manager applying the tuned config for (app, machine,
+    nprocs) when one exists and consultation is allowed; a no-op scope
+    otherwise.  This is ``Archetype.run``'s entry point."""
+    entry = consult(app, machine, nprocs)
+    if entry is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    return applying(entry.config)

@@ -62,6 +62,10 @@ PROGRAMS: dict[str, ConformanceProgram] = {
     # The fused mesh-spectral program: multi-species transport/chemistry
     # through the kernel layer's fusion, packing, and hoisting paths.
     "fusedmesh": _program("fusedmesh", "smog"),
+    # Packed-exchange mesh programs: the 2-D flow solver (CFL max
+    # reductions) and the 3-D leapfrog FDTD code (energy sum reduction).
+    "cfdmesh": _program("cfdmesh", "cfd"),
+    "fdtdmesh": _program("fdtdmesh", "fdtd"),
     "imagepipe": _program("imagepipe", "imagepipe"),
     "knapfarm": _program("knapfarm", "knapfarm"),
 }

@@ -44,7 +44,17 @@ def _registry_runner(app: str) -> Callable[[str], RunResult]:
 #: conformance suite and the job server)
 PROGRAMS: dict[str, Callable[[str], RunResult]] = {
     name: _registry_runner(name)
-    for name in ("mergesort", "fft2d", "poisson", "smog", "spectralflow", "imagepipe", "knapfarm")
+    for name in (
+        "mergesort",
+        "fft2d",
+        "poisson",
+        "cfd",
+        "fdtd",
+        "smog",
+        "spectralflow",
+        "imagepipe",
+        "knapfarm",
+    )
 }
 
 

@@ -46,6 +46,18 @@ def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
 
 
 @pytest.fixture(autouse=True)
+def _isolated_tune_catalog(tmp_path, monkeypatch):
+    """Point the tuned-config catalog at an empty per-test directory.
+
+    Registry and archetype runs consult the catalog by default; without
+    this, entries tuned on the host (under ``~/.cache/repro/tuned``)
+    would leak process grids and runtime knobs into the digest, clock,
+    and conformance suites.
+    """
+    monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path / "tuned"))
+
+
+@pytest.fixture(autouse=True)
 def _chaos_seed(request: pytest.FixtureRequest):
     """Under the ``chaos`` marker, wrap the test in a fuzzed schedule."""
     if request.node.get_closest_marker("chaos") is None:

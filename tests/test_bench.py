@@ -159,10 +159,10 @@ class TestBenchArtifact:
 
         from repro.bench.__main__ import FIGURE_MACHINES, FIGURES, main
 
-        out = tmp_path / "BENCH_PR8.json"
+        out = tmp_path / "BENCH_PR9.json"
         assert main(["all", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
-        assert data["artifact"] == "BENCH_PR8"
+        assert data["artifact"] == "BENCH_PR9"
         assert set(data["figures"]) == set(FIGURES) | {"fig_overlap", "fig_pipeline"}
         for name, entry in data["figures"].items():
             if name in ("fig_overlap", "fig_pipeline"):
@@ -216,8 +216,18 @@ class TestBenchArtifact:
             assert row["identical"] is True, row
         assert any(r["counters"].get("exchanges_hoisted", 0) > 0 for r in krows)
         assert any(r["counters"].get("dats_packed", 0) > 0 for r in krows)
+        # The autotuning ablation: tuned never worse than default, every
+        # second search a catalog hit, and a genuine strict win somewhere.
+        trows = data["tune"]["rows"]
+        assert len({r["machine"] for r in trows}) >= 2
+        for row in trows:
+            assert row["tuned_measured_seconds"] <= row["default_measured_seconds"]
+            assert row["cache_hit"] is True, row
+        assert any(
+            r["tuned_measured_seconds"] < r["default_measured_seconds"] for r in trows
+        )
 
     def test_default_artifact_name(self):
         from repro.bench.__main__ import ARTIFACT
 
-        assert ARTIFACT == "BENCH_PR8.json"
+        assert ARTIFACT == "BENCH_PR9.json"

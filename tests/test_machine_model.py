@@ -5,12 +5,16 @@ from hypothesis import given, strategies as st
 
 from repro.errors import ReproError
 from repro.machines import (
+    CLOUD_25GBE,
     CRAY_T3D,
     ETHERNET_SUNS,
+    GPU_NODE,
     IBM_SP,
     IDEAL,
     INTEL_DELTA,
     INTEL_PARAGON,
+    MODERN_MACHINES,
+    NUMA_EPYC,
     MachineModel,
     get_machine,
     list_machines,
@@ -117,3 +121,70 @@ class TestCatalog:
         # T3D had by far the lowest latency; Ethernet the highest.
         assert CRAY_T3D.alpha < IBM_SP.alpha < ETHERNET_SUNS.alpha
         assert INTEL_PARAGON.bandwidth() > INTEL_DELTA.bandwidth()
+
+    def test_modern_machines_listed(self):
+        names = list_machines()
+        for machine in MODERN_MACHINES:
+            assert machine.name in names
+            assert get_machine(machine.name) is machine
+
+    def test_modern_balance_shift(self):
+        # Three decades move every absolute number, but the structural
+        # story is the flop/byte balance: the GPU node sustains orders of
+        # magnitude more flops per byte moved than the Delta, so the
+        # paper's crossover points migrate toward tiny P.
+        delta_fpb = INTEL_DELTA.flops_rate() / INTEL_DELTA.bandwidth()
+        gpu_fpb = GPU_NODE.flops_rate() / GPU_NODE.bandwidth()
+        assert gpu_fpb > 10 * delta_fpb
+        # Shared-memory "messages" beat every 1990s interconnect.
+        assert NUMA_EPYC.alpha < CRAY_T3D.alpha
+        # Cloud VM networking has 1990s-supercomputer-class latency with
+        # three orders of magnitude more bandwidth.
+        assert IBM_SP.alpha / 10 < CLOUD_25GBE.alpha < IBM_SP.alpha
+        assert CLOUD_25GBE.bandwidth() > 10 * CRAY_T3D.bandwidth()
+
+
+class TestCatalogInvariants:
+    """Invariants every catalogued machine must satisfy.
+
+    Parameterized over :func:`list_machines`, so new catalog entries buy
+    into every check by existing — no test edits required.
+    """
+
+    @pytest.fixture(params=list_machines())
+    def machine(self, request) -> MachineModel:
+        return get_machine(request.param)
+
+    def test_costs_nonnegative_and_rates_positive(self, machine):
+        assert machine.alpha >= 0 and machine.beta >= 0 and machine.flop_time >= 0
+        assert machine.bandwidth() > 0
+        assert machine.flops_rate() > 0
+        if machine.name != "ideal":
+            # Only the ideal reference machine communicates for free.
+            assert machine.alpha > 0 and machine.beta > 0 and machine.flop_time > 0
+
+    def test_memory_model_sane(self, machine):
+        assert machine.paging_factor >= 1.0
+        assert machine.max_nodes >= 2
+        if machine.mem_per_node is not None:
+            assert machine.mem_per_node > 0
+
+    def test_message_time_monotone_in_size(self, machine):
+        sizes = [0, 1, 64, 4096, 1 << 20]
+        times = [machine.message_time(n) for n in sizes]
+        assert times == sorted(times)
+
+    def test_message_time_monotone_in_nodes(self, machine):
+        assert machine.message_time(1024, nodes=64) >= machine.message_time(
+            1024, nodes=2
+        )
+
+    def test_overheads_within_message_time(self, machine):
+        # Posting or ingesting a message can never cost more than the
+        # message itself — otherwise overlap would slow programs down —
+        # and the zero-byte send overhead is bounded by the latency.
+        for nbytes in (0, 1024, 1 << 20):
+            mt = machine.message_time(nbytes)
+            assert machine.send_overhead(nbytes) <= mt
+            assert machine.recv_overhead(nbytes) <= mt
+        assert machine.send_overhead(0) <= machine.alpha
